@@ -1,0 +1,159 @@
+package gtpq
+
+// One benchmark per paper artifact (Tables 1–5, Figs 8–10, 12, plus the
+// DESIGN.md ablations). Each benchmark drives the same runner that
+// cmd/gtpq-bench uses, at a reduced size; run cmd/gtpq-bench for the
+// full printed tables.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/bench"
+	"gtpq/internal/gtea"
+	"gtpq/internal/hgjoin"
+	"gtpq/internal/queries"
+	"gtpq/internal/twig2stack"
+	"gtpq/internal/twigstack"
+	"gtpq/internal/twigstackd"
+	"gtpq/internal/xmark"
+)
+
+func benchConfig() bench.Config {
+	return bench.Config{
+		PersonsPerUnit:  150,
+		Scales:          []float64{0.5, 1, 1.5, 2, 4},
+		QueriesPerPoint: 3,
+		ArxivPerSize:    2,
+		Seed:            17,
+	}
+}
+
+func runExperiment(b *testing.B, f func(r *bench.Runner)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(benchConfig(), io.Discard)
+		f(r)
+	}
+}
+
+func BenchmarkTable1XMarkStats(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Table1() })
+}
+
+func BenchmarkTable2ResultSizes(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Table2() })
+}
+
+func BenchmarkFig8aVaryDataSize(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig8a() })
+}
+
+func BenchmarkFig8bVaryQuery(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig8b() })
+}
+
+func BenchmarkFig9aWorkload(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig9a() })
+}
+
+func BenchmarkFig9bSmallResults(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig9b() })
+}
+
+func BenchmarkFig9cLargeResults(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig9c() })
+}
+
+func BenchmarkFig9dFiltering(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig9d() })
+}
+
+func BenchmarkFig10IOCost(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Fig10() })
+}
+
+func BenchmarkExp1OutputNodes(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Exp1() })
+}
+
+func BenchmarkExp2Disjunction(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Exp2("DIS") })
+}
+
+func BenchmarkExp2Negation(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Exp2("NEG") })
+}
+
+func BenchmarkExp2DisNeg(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.Exp2("DIS_NEG") })
+}
+
+func BenchmarkAblationContours(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.AblationContours() })
+}
+
+func BenchmarkAblationPrimeSubtree(b *testing.B) {
+	runExperiment(b, func(r *bench.Runner) { r.AblationPrimeSubtree() })
+}
+
+// ---- per-engine microbenchmarks on a fixed XMark graph (Q1) ----
+
+func BenchmarkEngineGTEAQ1(b *testing.B) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 300, Seed: 7})
+	e := gtea.New(g)
+	q := queries.XMarkQ1(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eval(q)
+	}
+}
+
+func BenchmarkEngineTwigStackQ1(b *testing.B) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 300, Seed: 7})
+	e := twigstack.New(g)
+	q := queries.XMarkQ1(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eval(q)
+	}
+}
+
+func BenchmarkEngineTwig2StackQ1(b *testing.B) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 300, Seed: 7})
+	e := twig2stack.New(g)
+	q := queries.XMarkQ1(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eval(q)
+	}
+}
+
+func BenchmarkEngineTwigStackDQ1(b *testing.B) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 300, Seed: 7})
+	e := twigstackd.New(g)
+	q := queries.XMarkQ1(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Eval(q)
+	}
+}
+
+func BenchmarkEngineHGJoinPlusQ1(b *testing.B) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 300, Seed: 7})
+	e := hgjoin.New(g)
+	q := queries.XMarkQ1(rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalPlus(q)
+	}
+}
+
+func BenchmarkIndexBuild3Hop(b *testing.B) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 300, Seed: 7})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gtea.New(g)
+	}
+}

@@ -1,0 +1,67 @@
+// Command gtpq-bench regenerates the paper's tables and figures
+// (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	gtpq-bench                         # everything, default sizes
+//	gtpq-bench -exp f8a,f10            # selected experiments
+//	gtpq-bench -persons 1500 -queries 10 -persize 15   # paper-sized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gtpq/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gtpq-bench: ")
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,all")
+		persons = flag.Int("persons", 600, "XMark persons per scale unit")
+		queries = flag.Int("queries", 5, "query instances averaged per data point")
+		perSize = flag.Int("persize", 5, "arXiv queries kept per size and result group")
+		seed    = flag.Int64("seed", 17, "workload seed")
+	)
+	flag.Parse()
+
+	r := bench.NewRunner(bench.Config{
+		PersonsPerUnit:  *persons,
+		QueriesPerPoint: *queries,
+		ArxivPerSize:    *perSize,
+		Seed:            *seed,
+	}, os.Stdout)
+
+	runners := map[string]func(){
+		"t1":       r.Table1,
+		"t2":       r.Table2,
+		"f8a":      r.Fig8a,
+		"f8b":      r.Fig8b,
+		"f9a":      r.Fig9a,
+		"f9b":      r.Fig9b,
+		"f9c":      r.Fig9c,
+		"f9d":      r.Fig9d,
+		"f10":      r.Fig10,
+		"e1":       r.Exp1,
+		"e2dis":    func() { r.Exp2("DIS") },
+		"e2neg":    func() { r.Exp2("NEG") },
+		"e2disneg": func() { r.Exp2("DIS_NEG") },
+		"a2":       r.AblationContours,
+		"a3":       r.AblationPrimeSubtree,
+		"all":      r.All,
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		f, ok := runners[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q", name)
+		}
+		f()
+		fmt.Println()
+	}
+}

@@ -1,0 +1,94 @@
+// Example 1 from the paper: a DBLP-like bibliography where
+// inproceedings records reference proceedings volumes through crossref
+// (an ID/IDREF edge), making the document a graph. The three queries
+// Q1–Q3 — conjunction, disjunction, negation over the same tree shape —
+// are expressed as GTPQs and evaluated with GTEA.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gtpq"
+)
+
+// buildDBLP creates a small bibliography: papers by Alice/Bob/Carol in
+// volumes from different years, linked by crossref edges.
+func buildDBLP() *gtpq.Graph {
+	g := gtpq.NewGraph()
+	r := rand.New(rand.NewSource(4))
+
+	type volume struct {
+		node gtpq.NodeID
+		year int
+	}
+	var volumes []volume
+	for year := 1996; year <= 2012; year += 2 {
+		v := g.AddNode("proceedings", nil)
+		y := g.AddNode("year", map[string]interface{}{"value": year})
+		t := g.AddNode("title", nil)
+		g.AddEdge(v, y)
+		g.AddEdge(v, t)
+		volumes = append(volumes, volume{v, year})
+	}
+	authors := []string{"Alice", "Bob", "Carol", "Dave"}
+	for i := 0; i < 60; i++ {
+		p := g.AddNode("inproceedings", nil)
+		g.AddEdge(p, g.AddNode("title", nil))
+		g.AddEdge(p, g.AddNode("year", nil))
+		// 1-3 distinct authors.
+		perm := r.Perm(len(authors))
+		for _, ai := range perm[:1+r.Intn(3)] {
+			a := g.AddNode("author", map[string]interface{}{"value": authors[ai]})
+			g.AddEdge(p, a)
+		}
+		cr := g.AddNode("crossref", nil)
+		g.AddEdge(p, cr)
+		g.AddRefEdge(cr, volumes[r.Intn(len(volumes))].node)
+	}
+	return g
+}
+
+// paperQuery builds the shared tree of Q1–Q3 with the given structural
+// predicate over the Alice/Bob author branches.
+func paperQuery(pred string) *gtpq.Query {
+	q, err := gtpq.ParseQuery(`
+node  paper label=inproceedings output
+pnode alice label=author parent=paper edge=pc
+pnode bob   label=author parent=paper edge=pc
+node  title label=title  parent=paper edge=pc output
+node  cross label=crossref parent=paper edge=pc
+node  conf  label=proceedings parent=cross edge=pc ref
+node  year  label=year parent=conf edge=pc
+where alice: value=Alice
+where bob:   value=Bob
+where year:  value>=2000 value<=2010
+pred  paper: ` + pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return q
+}
+
+func main() {
+	g := buildDBLP()
+	eng := gtpq.NewEngine(g)
+
+	run := func(name, pred, desc string) {
+		q := paperQuery(pred)
+		res, err := eng.Eval(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s): %d paper/title pairs\n", name, desc, len(res.Rows))
+	}
+	run("Q1", "alice & bob", "Alice's papers co-authored with Bob, 2000-2010")
+	run("Q2", "alice | bob", "papers of either Alice or Bob, 2000-2010")
+	run("Q3", "alice & !bob", "Alice's papers NOT co-authored with Bob, 2000-2010")
+
+	// Q2 contains Q1 and Q3 by construction; verify with Theorem 3.
+	q1, q2, q3 := paperQuery("alice & bob"), paperQuery("alice | bob"), paperQuery("alice & !bob")
+	fmt.Printf("Q1 ⊑ Q2: %v   Q3 ⊑ Q2: %v   Q2 ⊑ Q1: %v\n",
+		gtpq.Contained(q1, q2), gtpq.Contained(q3, q2), gtpq.Contained(q2, q1))
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small graph, run a GTPQ with disjunction and
+// negation through the public API, and inspect the static analyses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gtpq"
+)
+
+func main() {
+	// A toy catalog: two stores, products with optional reviews.
+	g := gtpq.NewGraph()
+	store1 := g.AddNode("store", map[string]interface{}{"city": "Berlin"})
+	store2 := g.AddNode("store", map[string]interface{}{"city": "Oslo"})
+	p1 := g.AddNode("product", map[string]interface{}{"price": 19.0})
+	p2 := g.AddNode("product", map[string]interface{}{"price": 120.0})
+	p3 := g.AddNode("product", map[string]interface{}{"price": 42.0})
+	rev := g.AddNode("review", nil)
+	promo := g.AddNode("promo", nil)
+	g.AddEdge(store1, p1)
+	g.AddEdge(store1, p2)
+	g.AddEdge(store2, p3)
+	g.AddEdge(p1, rev)
+	g.AddEdge(p2, promo)
+
+	// Products that have a review or a promotion, but cost under 100 —
+	// a GTPQ with a disjunctive structural predicate.
+	q, err := gtpq.ParseQuery(`
+node  prod  label=product output
+pnode rev   label=review parent=prod edge=ad
+pnode promo label=promo  parent=prod edge=ad
+pred  prod: rev | promo
+where prod: price<100`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := gtpq.NewEngine(g)
+	res, err := eng.Eval(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("products with review-or-promo under 100: %d match(es)\n", len(res.Rows))
+	for _, row := range res.Rows {
+		fmt.Printf("  node %d (label %s)\n", row[0], g.Label(row[0]))
+	}
+
+	// Static analyses from §3 of the paper.
+	fmt.Printf("satisfiable: %v\n", gtpq.Satisfiable(q))
+	min := gtpq.Minimize(q)
+	fmt.Printf("minimized size: %d (was %d)\n", min.Size(), q.Size())
+	fmt.Printf("engine stats: input=%d index=%d intermediate=%d\n",
+		res.Stats.Input, res.Stats.IndexLookups, res.Stats.Intermediate)
+}

@@ -1,0 +1,207 @@
+package gtpq
+
+import (
+	"strings"
+	"testing"
+)
+
+// demoGraph: a0 -> b1 -> c2 ; a0 -> c3 ; a4 -> b5 (no c below a4's b).
+func demoGraph() (*Graph, []NodeID) {
+	g := NewGraph()
+	a0 := g.AddNode("a", nil)
+	b1 := g.AddNode("b", nil)
+	c2 := g.AddNode("c", nil)
+	c3 := g.AddNode("c", nil)
+	a4 := g.AddNode("a", nil)
+	b5 := g.AddNode("b", nil)
+	g.AddEdge(a0, b1)
+	g.AddEdge(b1, c2)
+	g.AddEdge(a0, c3)
+	g.AddEdge(a4, b5)
+	return g, []NodeID{a0, b1, c2, c3, a4, b5}
+}
+
+func TestEndToEndDSL(t *testing.T) {
+	g, ids := demoGraph()
+	q, err := ParseQuery(`
+node x label=a output
+pnode y label=c parent=x edge=ad
+pred x: y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(g).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != ids[0] {
+		t.Fatalf("rows = %v, want [[a0]]", res.Rows)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "x" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if res.Stats.Input == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestBuilderNegation(t *testing.T) {
+	g, ids := demoGraph()
+	q, err := NewBuilder("x", "a").
+		Filter("y", "c", "x", false).
+		Predicate("x", "!y").
+		Output("x").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(g).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != ids[4] {
+		t.Fatalf("rows = %v, want [[a4]]", res.Rows)
+	}
+}
+
+func TestBuilderWhereAndAttrs(t *testing.T) {
+	g := NewGraph()
+	v1 := g.AddNode("p", map[string]interface{}{"year": 2005})
+	g.AddNode("p", map[string]interface{}{"year": 1999})
+	q, err := NewBuilder("x", "p").Where("x", "year", ">=", 2000).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(g).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != v1 {
+		t.Fatalf("rows = %v, want [[v1]]", res.Rows)
+	}
+}
+
+func TestStaticAnalyses(t *testing.T) {
+	mk := func(pred string) *Query {
+		q, err := NewBuilder("x", "a").
+			Filter("y", "b", "x", false).
+			Predicate("x", pred).
+			Output("x").
+			Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	if !Satisfiable(mk("y")) {
+		t.Error("y should be satisfiable")
+	}
+	if Satisfiable(mk("y & !y")) {
+		t.Error("y & !y should be unsatisfiable")
+	}
+	strict, loose := mk("y"), mk("y | !y")
+	if !Contained(strict, loose) {
+		t.Error("strict ⊑ loose expected")
+	}
+	if Contained(loose, strict) {
+		t.Error("loose ⊑ strict must fail")
+	}
+	if !EquivalentQueries(strict, strict) {
+		t.Error("self equivalence failed")
+	}
+	m := Minimize(loose)
+	if m.Size() >= loose.Size() {
+		t.Errorf("Minimize(y|!y) should drop the redundant filter: %d -> %d", loose.Size(), m.Size())
+	}
+}
+
+func TestQueryFormatRoundTrip(t *testing.T) {
+	q, err := ParseQuery(`
+node x label=a output
+pnode y label=b parent=x edge=pc
+pred x: !y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ParseQuery(q.Format())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, q.Format())
+	}
+	if !EquivalentQueries(q, q2) {
+		t.Error("format round trip changed semantics")
+	}
+	if !strings.Contains(q.String(), "!y") {
+		t.Errorf("String() should show the predicate: %s", q.String())
+	}
+}
+
+func TestEvalGroupedAPI(t *testing.T) {
+	g := NewGraph()
+	s1 := g.AddNode("store", nil)
+	s2 := g.AddNode("store", nil)
+	p1 := g.AddNode("product", nil)
+	p2 := g.AddNode("product", nil)
+	p3 := g.AddNode("product", nil)
+	g.AddEdge(s1, p1)
+	g.AddEdge(s1, p2)
+	g.AddEdge(s2, p3)
+	q, err := ParseQuery(`
+node s label=store output
+node p label=product parent=s edge=pc output`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := NewEngine(g).EvalGrouped(q, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 2 {
+		t.Fatalf("groups = %d", len(gr.Groups))
+	}
+	if len(gr.Groups[0].Members) != 2 || len(gr.Groups[1].Members) != 1 {
+		t.Fatalf("member counts wrong: %+v", gr.Groups)
+	}
+	if gr.KeyColumns[0] != "s" || gr.MemberColumns[0] != "p" {
+		t.Errorf("columns: %v / %v", gr.KeyColumns, gr.MemberColumns)
+	}
+	if _, err := NewEngine(g).EvalGrouped(q, "zzz"); err == nil {
+		t.Error("unknown group node should error")
+	}
+}
+
+func TestEvalRejectsInvalidQuery(t *testing.T) {
+	g, _ := demoGraph()
+	// Build an invalid query by hand: predicate output node.
+	q, err := NewBuilder("x", "a").Filter("y", "b", "x", false).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Internal().Nodes[1].Output = true
+	if _, err := NewEngine(g).Eval(q); err == nil {
+		t.Error("Eval should reject invalid queries")
+	}
+}
+
+func TestRefEdgesThroughAPI(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a", nil)
+	r := g.AddNode("ref", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a, r)
+	g.AddRefEdge(r, b)
+	q, err := ParseQuery(`
+node x label=a
+node re label=ref parent=x edge=pc
+node y label=b parent=re edge=pc ref output`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(g).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != b {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	_ = a
+}

@@ -1,0 +1,118 @@
+// Package arxiv synthesizes a citation/authorship graph standing in for
+// the HEP-Th arXiv dataset of §5.2 (the original KDL dump is not
+// redistributable). The published statistics are matched: 9562 nodes,
+// 28120 edges, 1132 distinct labels. Paper nodes link to their authors
+// and cite earlier papers within a locality window (the graph is denser
+// and deeper than XMark's forests, which is what §5.2 relies on to
+// stress SSPI and pool-based algorithms).
+package arxiv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gtpq/internal/graph"
+)
+
+// Config controls generation; DefaultConfig matches the paper's counts.
+type Config struct {
+	Papers  int
+	Authors int
+	// AuthorsPerPaper and CitesPerPaper are expectations.
+	AuthorsPerPaper float64
+	CitesPerPaper   float64
+	// Window bounds how far back citations reach (locality keeps
+	// reachability cones realistic).
+	Window int
+	// PaperLabels / AuthorLabels control the distinct-label count.
+	PaperLabels  int
+	AuthorLabels int
+	Seed         int64
+}
+
+// DefaultConfig reproduces the published graph statistics.
+func DefaultConfig() Config {
+	return Config{
+		Papers:          6562,
+		Authors:         3000,
+		AuthorsPerPaper: 2.5,
+		CitesPerPaper:   1.8,
+		Window:          600,
+		PaperLabels:     732,
+		AuthorLabels:    400,
+		Seed:            11,
+	}
+}
+
+// Stats summarizes the generated graph.
+type Stats struct {
+	Nodes, Edges, Labels int
+}
+
+// Generate builds the citation graph.
+func Generate(cfg Config) (*graph.Graph, Stats) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Papers+cfg.Authors, int(float64(cfg.Papers)*(cfg.AuthorsPerPaper+cfg.CitesPerPaper)))
+
+	// Authors labeled by email domain; a Zipf-ish skew keeps some labels
+	// frequent and many rare, like real domains.
+	authors := make([]graph.NodeID, cfg.Authors)
+	for i := range authors {
+		dom := skewed(r, cfg.AuthorLabels)
+		authors[i] = g.AddNode(fmt.Sprintf("dom%d", dom), graph.Attrs{
+			"kind": graph.StrV("author"),
+		})
+	}
+	// Papers labeled by area+journal combination.
+	papers := make([]graph.NodeID, cfg.Papers)
+	for i := range papers {
+		lab := skewed(r, cfg.PaperLabels)
+		papers[i] = g.AddNode(fmt.Sprintf("jnl%d", lab), graph.Attrs{
+			"kind": graph.StrV("paper"),
+			"year": graph.NumV(float64(1992 + i*10/cfg.Papers)),
+		})
+		// Authorship edges.
+		na := 1 + r.Intn(int(cfg.AuthorsPerPaper*2))
+		for a := 0; a < na; a++ {
+			g.AddEdge(papers[i], authors[r.Intn(cfg.Authors)])
+		}
+		// Citations to earlier papers within the window.
+		if i > 0 {
+			nc := poissonish(r, cfg.CitesPerPaper)
+			for c := 0; c < nc; c++ {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				g.AddEdge(papers[i], papers[lo+r.Intn(i-lo)])
+			}
+		}
+	}
+	g.Freeze()
+	return g, Stats{Nodes: g.N(), Edges: g.M(), Labels: len(g.Labels())}
+}
+
+// skewed draws from [0,n) with a heavy head.
+func skewed(r *rand.Rand, n int) int {
+	if r.Intn(100) < 40 {
+		return r.Intn(1 + n/20)
+	}
+	return r.Intn(n)
+}
+
+func poissonish(r *rand.Rand, mean float64) int {
+	n := int(mean)
+	if r.Float64() < mean-float64(n) {
+		n++
+	}
+	// Add small variance.
+	switch r.Intn(4) {
+	case 0:
+		if n > 0 {
+			n--
+		}
+	case 3:
+		n++
+	}
+	return n
+}

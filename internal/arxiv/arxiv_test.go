@@ -1,0 +1,51 @@
+package arxiv
+
+import (
+	"testing"
+
+	"gtpq/internal/graph"
+)
+
+func TestDefaultMatchesPublishedStats(t *testing.T) {
+	_, st := Generate(DefaultConfig())
+	// Paper: 9562 nodes, 28120 edges, 1132 labels. Nodes are exact by
+	// construction; edges and labels land close (random degrees).
+	if st.Nodes != 9562 {
+		t.Errorf("Nodes = %d, want 9562", st.Nodes)
+	}
+	if st.Edges < 24000 || st.Edges > 32000 {
+		t.Errorf("Edges = %d, want ≈28120", st.Edges)
+	}
+	if st.Labels < 900 || st.Labels > 1200 {
+		t.Errorf("Labels = %d, want ≈1132", st.Labels)
+	}
+}
+
+func TestCitationGraphIsDAG(t *testing.T) {
+	g, _ := Generate(Config{
+		Papers: 500, Authors: 200, AuthorsPerPaper: 2, CitesPerPaper: 2,
+		Window: 100, PaperLabels: 50, AuthorLabels: 30, Seed: 3,
+	})
+	cond := graph.Condense(g)
+	if cond.NumSCC() != g.N() {
+		t.Errorf("citation graph has cycles: %d SCCs for %d nodes", cond.NumSCC(), g.N())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, s1 := Generate(DefaultConfig())
+	g2, s2 := Generate(DefaultConfig())
+	if s1 != s2 || g1.M() != g2.M() {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestDenserThanForest(t *testing.T) {
+	g, st := Generate(DefaultConfig())
+	// §5.2: the arXiv graph is denser than XMark's forests — average
+	// degree well above 1.
+	if float64(st.Edges)/float64(st.Nodes) < 2.0 {
+		t.Errorf("graph not dense enough: %d edges / %d nodes", st.Edges, st.Nodes)
+	}
+	_ = g
+}

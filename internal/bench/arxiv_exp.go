@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/hgjoin"
+	"gtpq/internal/queries"
+	"gtpq/internal/twigstackd"
+)
+
+// arxivWorkload holds the §5.2 random query workload: per query size,
+// queries grouped by result-size class.
+type arxivWorkload struct {
+	sizes []int
+	small map[int][]*core.Query
+	large map[int][]*core.Query
+	// resultSizes[size] lists the result counts of the kept queries
+	// (Fig 9(a)).
+	resultSizes map[int][]int
+}
+
+var arxivSizes = []int{5, 7, 9, 11, 13}
+
+// buildArxivWorkload samples random TPQs until every (size, group)
+// bucket holds ArxivPerSize queries (bounded attempts). The workload is
+// cached on the runner so every Fig 9 panel sees the same queries.
+func (r *Runner) buildArxivWorkload() *arxivWorkload {
+	if r.workload != nil {
+		return r.workload
+	}
+	g, _ := r.Arxiv()
+	e := r.GTEA(g)
+	w := &arxivWorkload{
+		sizes:       arxivSizes,
+		small:       map[int][]*core.Query{},
+		large:       map[int][]*core.Query{},
+		resultSizes: map[int][]int{},
+	}
+	rng := rand.New(rand.NewSource(r.Cfg.Seed))
+	for _, size := range w.sizes {
+		attempts := 0
+		for (len(w.small[size]) < r.Cfg.ArxivPerSize || len(w.large[size]) < r.Cfg.ArxivPerSize) && attempts < 4000 {
+			attempts++
+			q := queries.RandomTPQ(rng, g, size)
+			n := e.Eval(q).Len()
+			switch queries.Classify(n) {
+			case queries.Small:
+				if len(w.small[size]) < r.Cfg.ArxivPerSize {
+					w.small[size] = append(w.small[size], q)
+					w.resultSizes[size] = append(w.resultSizes[size], n)
+				}
+			case queries.Large:
+				if len(w.large[size]) < r.Cfg.ArxivPerSize {
+					w.large[size] = append(w.large[size], q)
+					w.resultSizes[size] = append(w.resultSizes[size], n)
+				}
+			}
+		}
+	}
+	r.workload = w
+	return w
+}
+
+// Fig9a prints the result-size distribution of the kept workload.
+func (r *Runner) Fig9a() {
+	w := r.buildArxivWorkload()
+	r.printf("== Fig 9(a): result-size distribution of the arXiv workload ==\n")
+	r.printf("%-6s %6s %6s %s\n", "size", "#small", "#large", "result sizes")
+	for _, s := range w.sizes {
+		rs := append([]int(nil), w.resultSizes[s]...)
+		sort.Ints(rs)
+		r.printf("%-6d %6d %6d %v\n", s, len(w.small[s]), len(w.large[s]), rs)
+	}
+}
+
+var fig9Engines = []string{"GTEA", "HGJoin*", "HGJoin+", "TwigStackD"}
+
+// fig9Times measures average per-engine evaluation time for a query
+// group.
+func (r *Runner) fig9Times(group map[int][]*core.Query, sizes []int) map[int]map[string]time.Duration {
+	g, _ := r.Arxiv()
+	ge := r.GTEA(g)
+	he := hgjoinShared(r)
+	td := tsdShared(r)
+	out := map[int]map[string]time.Duration{}
+	for _, s := range sizes {
+		qs := group[s]
+		if len(qs) == 0 {
+			continue
+		}
+		sums := map[string]time.Duration{}
+		for _, q := range qs {
+			sums["GTEA"] += timeIt(func() { ge.Eval(q) })
+			sums["HGJoin*"] += timeIt(func() { he.EvalStar(q) })
+			sums["HGJoin+"] += timeIt(func() { he.EvalPlus(q) })
+			sums["TwigStackD"] += timeIt(func() { td.Eval(q) })
+		}
+		for k := range sums {
+			sums[k] /= time.Duration(len(qs))
+		}
+		out[s] = sums
+	}
+	return out
+}
+
+func (r *Runner) fig9(title string, group func(*arxivWorkload) map[int][]*core.Query) {
+	w := r.buildArxivWorkload()
+	times := r.fig9Times(group(w), w.sizes)
+	r.printf("%s\n", title)
+	r.printf("%-6s", "size")
+	for _, e := range fig9Engines {
+		r.printf(" %12s", e)
+	}
+	r.printf("\n")
+	for _, s := range w.sizes {
+		ts, ok := times[s]
+		if !ok {
+			continue
+		}
+		r.printf("%-6d", s)
+		for _, e := range fig9Engines {
+			r.printf(" %12s", fmtDur(ts[e]))
+		}
+		r.printf("\n")
+	}
+}
+
+// Fig9b prints query time for the small-result group.
+func (r *Runner) Fig9b() {
+	r.fig9("== Fig 9(b): arXiv query time, small-result group ==",
+		func(w *arxivWorkload) map[int][]*core.Query { return w.small })
+}
+
+// Fig9c prints query time for the large-result group.
+func (r *Runner) Fig9c() {
+	r.fig9("== Fig 9(c): arXiv query time, large-result group ==",
+		func(w *arxivWorkload) map[int][]*core.Query { return w.large })
+}
+
+// Fig9d compares GTEA's two-round pruning against TwigStackD's
+// pre-filtering.
+func (r *Runner) Fig9d() {
+	w := r.buildArxivWorkload()
+	g, _ := r.Arxiv()
+	ge := r.GTEA(g)
+	td := tsdShared(r)
+	r.printf("== Fig 9(d): filtering time, GTEA pruning vs TwigStackD pre-filter ==\n")
+	r.printf("%-6s %14s %14s %14s %14s\n", "size", "GTEA-small", "GTEA-large", "TSD-small", "TSD-large")
+	for _, s := range w.sizes {
+		row := map[string]time.Duration{}
+		for name, qs := range map[string][]*core.Query{"small": w.small[s], "large": w.large[s]} {
+			if len(qs) == 0 {
+				continue
+			}
+			var gt, tt time.Duration
+			for _, q := range qs {
+				gt += timeIt(func() { ge.FilterOnly(q) })
+				tt += timeIt(func() { td.PreFilter(q) })
+			}
+			row["GTEA-"+name] = gt / time.Duration(len(qs))
+			row["TSD-"+name] = tt / time.Duration(len(qs))
+		}
+		r.printf("%-6d %14s %14s %14s %14s\n", s,
+			fmtDur(row["GTEA-small"]), fmtDur(row["GTEA-large"]),
+			fmtDur(row["TSD-small"]), fmtDur(row["TSD-large"]))
+	}
+}
+
+// shared per-runner baseline engines on the arXiv graph (index
+// construction amortized like the paper's setup).
+func hgjoinShared(r *Runner) *hgjoin.Engine {
+	if r.hgjoinArxiv == nil {
+		g, _ := r.Arxiv()
+		r.hgjoinArxiv = hgjoin.NewWithIndex(g, r.GTEA(g).H)
+	}
+	return r.hgjoinArxiv
+}
+
+func tsdShared(r *Runner) *twigstackd.Engine {
+	if r.tsdArxiv == nil {
+		g, _ := r.Arxiv()
+		r.tsdArxiv = twigstackd.New(g)
+	}
+	return r.tsdArxiv
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps unit-test runs fast.
+func tinyConfig() Config {
+	return Config{
+		PersonsPerUnit:  60,
+		Scales:          []float64{0.5, 1},
+		QueriesPerPoint: 2,
+		ArxivPerSize:    1,
+		Seed:            5,
+	}
+}
+
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(), &buf)
+	r.All()
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Fig 8(a)", "Fig 8(b)",
+		"Fig 9(a)", "Fig 9(b)", "Fig 9(c)", "Fig 9(d)",
+		"Fig 10", "Exp-1", "Exp-2", "Ablation A2", "Ablation A3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q section", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("output contains NaN")
+	}
+}
+
+func TestTable1RowsMatchScales(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(), &buf)
+	r.Table1()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header x2 + one row per scale
+	if len(lines) != 2+len(r.Cfg.Scales) {
+		t.Errorf("Table1 has %d lines, want %d", len(lines), 2+len(r.Cfg.Scales))
+	}
+}
+
+func TestCachesReused(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(), &buf)
+	g1, _ := r.XMark(1)
+	g2, _ := r.XMark(1)
+	if g1 != g2 {
+		t.Error("XMark graph not cached")
+	}
+	if r.GTEA(g1) != r.GTEA(g2) {
+		t.Error("GTEA engine not cached")
+	}
+	a1, _ := r.Arxiv()
+	a2, _ := r.Arxiv()
+	if a1 != a2 {
+		t.Error("arXiv graph not cached")
+	}
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/decomp"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/hgjoin"
+	"gtpq/internal/queries"
+	"gtpq/internal/twig2stack"
+	"gtpq/internal/twigstack"
+	"gtpq/internal/twigstackd"
+)
+
+func hgjoinOn(r *Runner, g *graph.Graph) *hgjoin.Engine {
+	return hgjoin.NewWithIndex(g, r.GTEA(g).H)
+}
+
+func twig2stackOn(g *graph.Graph) *twig2stack.Engine {
+	return twig2stack.New(g)
+}
+
+// Fig10 prints the I/O-cost metrics (#input, #intermediate, #index) on
+// the middle XMark scale. The paper uses Q3; at our reduced data sizes
+// Q3's three independent group-label constraints leave it with (near-)
+// empty answers, which degenerates the intermediate-result comparison,
+// so Q1 is measured instead (same structure, fewer reference hops).
+func (r *Runner) Fig10() {
+	scale := r.Cfg.Scales[len(r.Cfg.Scales)/2]
+	g, _ := r.XMark(scale)
+	q := queries.XMarkQ1(rand.New(rand.NewSource(r.Cfg.Seed)))
+
+	r.printf("== Fig 10: I/O cost for Q1 on XMark scale %.1f ==\n", scale)
+	r.printf("%-12s %14s %14s %14s\n", "engine", "#input", "#intermediate", "#index")
+
+	ge := r.GTEA(g)
+	ge.Eval(q)
+	gs := ge.Stats()
+	r.printf("%-12s %14d %14d %14d\n", "GTEA", gs.Input, gs.Intermediate, gs.Index)
+
+	he := hgjoinOn(r, g)
+	he.EvalPlus(q)
+	hs := he.Stats()
+	r.printf("%-12s %14d %14d %14d\n", "HGJoin+", hs.Input, hs.Intermediate, hs.Index)
+
+	td := twigstackd.New(g)
+	td.Eval(q)
+	ts := td.Stats()
+	r.printf("%-12s %14d %14d %14d\n", "TwigStackD", ts.Input, ts.Intermediate, ts.Index)
+
+	tw := twigstack.New(g)
+	tw.Eval(q)
+	tws := tw.Stats()
+	r.printf("%-12s %14d %14d %14d\n", "TwigStack", tws.Input, tws.Intermediate, 0)
+
+	// Twig2Stack shares TwigStack's input/index profile in the paper's
+	// figure; report its own counters.
+	t2 := twig2stackOn(g)
+	t2.Eval(q)
+	t2s := t2.Stats()
+	r.printf("%-12s %14d %14d %14d\n", "Twig2Stack", t2s.Input, t2s.Intermediate, 0)
+}
+
+// Exp1 prints GTEA's evaluation time for the Fig 11 query under the
+// Table 3 output-node variants (Fig 12(a)), plus result counts
+// (Table 5).
+func (r *Runner) Exp1() {
+	scale := r.Cfg.Scales[len(r.Cfg.Scales)-1]
+	g, _ := r.XMark(scale)
+	e := r.GTEA(g)
+	r.printf("== Exp-1 / Fig 12(a): output-node optimization, XMark scale %.1f ==\n", scale)
+	r.printf("%-6s %12s %10s\n", "query", "GTEA", "#results")
+	for _, name := range []string{"Q4", "Q5", "Q6", "Q7", "Q8"} {
+		var total time.Duration
+		results := 0
+		for i := 0; i < r.Cfg.QueriesPerPoint; i++ {
+			q, err := queries.NewExp1(rand.New(rand.NewSource(r.Cfg.Seed+int64(i))), name)
+			if err != nil {
+				panic(err)
+			}
+			var ans *core.Answer
+			total += timeIt(func() { ans = e.Eval(q) })
+			results += ans.Len()
+		}
+		r.printf("%-6s %12s %10d\n", name,
+			fmtDur(total/time.Duration(r.Cfg.QueriesPerPoint)),
+			results/r.Cfg.QueriesPerPoint)
+	}
+}
+
+// Exp2 prints GTEA vs decompose-and-merge TwigStack / TwigStackD for
+// the Table 4 GTPQs (Fig 12(b)–(d)) restricted to the named class
+// prefix ("DIS", "NEG", "DIS_NEG", or "" for all), plus result counts
+// (Table 5).
+func (r *Runner) Exp2(class string) {
+	scale := r.Cfg.Scales[len(r.Cfg.Scales)-1]
+	g, _ := r.XMark(scale)
+	ge := r.GTEA(g)
+	tsWrap := decomp.New(g, twigstack.New(g), ge.H)
+	tdWrap := decomp.New(g, twigstackd.New(g), ge.H)
+
+	r.printf("== Exp-2 / Fig 12(b-d): GTPQ processing (%s), XMark scale %.1f ==\n", orAll(class), scale)
+	r.printf("%-10s %12s %14s %14s %10s %6s\n", "query", "GTEA", "TwigStack+dec", "TwigStackD+dec", "#results", "#subq")
+	for _, spec := range queries.Exp2Specs {
+		if class != "" && !matchClass(spec.Name, class) {
+			continue
+		}
+		q, err := queries.NewExp2(rand.New(rand.NewSource(r.Cfg.Seed)), spec)
+		if err != nil {
+			panic(err)
+		}
+		var ans *core.Answer
+		gt := timeIt(func() { ans = ge.Eval(q) })
+		tt := timeIt(func() { tsWrap.Eval(q) })
+		dt := timeIt(func() { tdWrap.Eval(q) })
+		r.printf("%-10s %12s %14s %14s %10d %6d\n", spec.Name,
+			fmtDur(gt), fmtDur(tt), fmtDur(dt), ans.Len(), tsWrap.Subqueries)
+	}
+}
+
+func matchClass(name, class string) bool {
+	switch class {
+	case "DIS":
+		return len(name) >= 3 && name[:3] == "DIS" && (len(name) < 4 || name[3] != '_')
+	case "NEG":
+		return len(name) >= 3 && name[:3] == "NEG"
+	case "DIS_NEG":
+		return len(name) >= 7 && name[:7] == "DIS_NEG"
+	}
+	return true
+}
+
+func orAll(class string) string {
+	if class == "" {
+		return "all"
+	}
+	return class
+}
+
+// AblationContours compares GTEA with and without contour merging on
+// the arXiv workload (DESIGN.md experiment A2).
+func (r *Runner) AblationContours() {
+	w := r.buildArxivWorkload()
+	g, _ := r.Arxiv()
+	withC := r.GTEA(g)
+	withoutC := gtea.NewWithIndex(g, withC.H)
+	withoutC.Opt.NoContours = true
+	r.printf("== Ablation A2: contour merging on/off (arXiv, small group) ==\n")
+	r.printf("%-6s %14s %14s\n", "size", "contours", "pairwise")
+	for _, s := range w.sizes {
+		qs := w.small[s]
+		if len(qs) == 0 {
+			continue
+		}
+		var a, b time.Duration
+		for _, q := range qs {
+			a += timeIt(func() { withC.Eval(q) })
+			b += timeIt(func() { withoutC.Eval(q) })
+		}
+		r.printf("%-6d %14s %14s\n", s,
+			fmtDur(a/time.Duration(len(qs))), fmtDur(b/time.Duration(len(qs))))
+	}
+}
+
+// AblationPrimeSubtree compares GTEA with and without the shrunk prime
+// subtree on the Exp-1 queries (DESIGN.md experiment A3).
+func (r *Runner) AblationPrimeSubtree() {
+	scale := r.Cfg.Scales[len(r.Cfg.Scales)-1]
+	g, _ := r.XMark(scale)
+	withS := r.GTEA(g)
+	withoutS := gtea.NewWithIndex(g, withS.H)
+	withoutS.Opt.NoShrink = true
+	r.printf("== Ablation A3: shrunk prime subtree on/off (XMark scale %.1f) ==\n", scale)
+	r.printf("%-6s %14s %14s\n", "query", "shrunk", "full-prime")
+	for _, name := range []string{"Q4", "Q5", "Q6", "Q7", "Q8"} {
+		q, err := queries.NewExp1(rand.New(rand.NewSource(r.Cfg.Seed)), name)
+		if err != nil {
+			panic(err)
+		}
+		a := timeIt(func() { withS.Eval(q) })
+		b := timeIt(func() { withoutS.Eval(q) })
+		r.printf("%-6s %14s %14s\n", name, fmtDur(a), fmtDur(b))
+	}
+}
+
+// All runs every experiment in order.
+func (r *Runner) All() {
+	r.Table1()
+	r.printf("\n")
+	r.Table2()
+	r.printf("\n")
+	r.Fig8a()
+	r.printf("\n")
+	r.Fig8b()
+	r.printf("\n")
+	r.Fig9a()
+	r.printf("\n")
+	r.Fig9b()
+	r.printf("\n")
+	r.Fig9c()
+	r.printf("\n")
+	r.Fig9d()
+	r.printf("\n")
+	r.Fig10()
+	r.printf("\n")
+	r.Exp1()
+	r.printf("\n")
+	r.Exp2("")
+	r.printf("\n")
+	r.AblationContours()
+	r.printf("\n")
+	r.AblationPrimeSubtree()
+}

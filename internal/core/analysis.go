@@ -1,0 +1,240 @@
+package core
+
+import (
+	"gtpq/internal/logic"
+)
+
+// Analysis holds the derived §3 artifacts of a query: independently-
+// constraint flags, transitive structural predicates f_tr, complete
+// structural predicates f_cs, and the similarity/subsumption relations.
+// Build one with Analyze; it is read-only afterwards.
+type Analysis struct {
+	Q *Query
+	// IndepConstraint[u] reports whether u is an independently
+	// constraint node.
+	IndepConstraint []bool
+	// Ftr[u] is the transitive structural predicate of u.
+	Ftr []*logic.Formula
+	// Fcs[u] is the complete structural predicate of u.
+	Fcs []*logic.Formula
+	// similar caches Similar results keyed by u1*n+u2.
+	similar map[int]simResult
+}
+
+type simResult struct {
+	ok      bool
+	mapping map[int]int // descendant-of-u1 -> descendant-of-u2 pairing
+}
+
+// Analyze computes the §3 artifacts for q.
+func Analyze(q *Query) *Analysis {
+	a := &Analysis{
+		Q:               q,
+		IndepConstraint: make([]bool, len(q.Nodes)),
+		Ftr:             make([]*logic.Formula, len(q.Nodes)),
+		Fcs:             make([]*logic.Formula, len(q.Nodes)),
+		similar:         make(map[int]simResult),
+	}
+	a.computeIndependentlyConstraint()
+	a.computeFtr()
+	a.computeFcs()
+	return a
+}
+
+// computeIndependentlyConstraint marks u when (fext(u')[p_u/1] ⊕
+// fext(u')[p_u/0]) ∧ fs(u) is satisfiable for u's parent u', and all
+// ancestors are independently constraint. The root qualifies when its
+// own structural predicate is satisfiable.
+func (a *Analysis) computeIndependentlyConstraint() {
+	q := a.Q
+	for _, u := range q.PreOrder() {
+		n := q.Nodes[u]
+		if n.Parent == -1 {
+			a.IndepConstraint[u] = logic.Satisfiable(q.Fs(u))
+			continue
+		}
+		if !a.IndepConstraint[n.Parent] {
+			continue
+		}
+		fp := q.Fext(n.Parent)
+		x := logic.Xor(fp.Assign(u, true), fp.Assign(u, false))
+		a.IndepConstraint[u] = logic.Satisfiable(logic.And(x, q.Fs(u)))
+	}
+}
+
+// computeFtr builds f_tr bottom-up: for an internal independently-
+// constraint node, every variable p_c of an independently constraint
+// child c is replaced by (p_c ∧ f_tr(c)); leaves and non-IC nodes keep
+// f_ext.
+func (a *Analysis) computeFtr() {
+	q := a.Q
+	for _, u := range q.PostOrder() {
+		n := q.Nodes[u]
+		if len(n.Children) == 0 || !a.IndepConstraint[u] {
+			a.Ftr[u] = q.Fext(u)
+			continue
+		}
+		a.Ftr[u] = q.Fext(u).Subst(func(c int) *logic.Formula {
+			if c < len(q.Nodes) && q.Nodes[c].Parent == u && a.IndepConstraint[c] {
+				return logic.And(logic.Var(c), a.Ftr[c])
+			}
+			return nil
+		})
+	}
+}
+
+// computeFcs derives f_cs from f_tr: descendants with unsatisfiable
+// attribute predicates are fixed to 0, and for every pair of nodes in
+// distinct subtrees of u with u2 ⊴ u1 the clause ¬p_u1 ∨ (p_u2 ∧
+// f_tr(u2)) is conjoined (presence of the stronger node forces presence
+// of the weaker one).
+func (a *Analysis) computeFcs() {
+	q := a.Q
+	for _, u := range q.PostOrder() {
+		f := a.Ftr[u]
+		desc := q.Descendants(u)
+		for _, d := range desc {
+			if !q.Nodes[d].Attr.Satisfiable() {
+				f = f.Assign(d, false)
+			}
+		}
+		for _, u1 := range desc {
+			for _, u2 := range desc {
+				if u1 == u2 || q.IsAncestorOf(u1, u2) || q.IsAncestorOf(u2, u1) {
+					continue
+				}
+				if a.Subsumed(u2, u1) { // u2 ⊴ u1
+					f = logic.And(f, logic.Or(logic.Not(logic.Var(u1)), logic.And(logic.Var(u2), a.Ftr[u2])))
+				}
+			}
+		}
+		a.Fcs[u] = logic.Simplify(f)
+	}
+}
+
+// Similar implements the paper's u1 ⊳ u2 ("u2 is similar to u1"):
+// (1) fa(u2) syntactically implies fa(u1); (2) every independently
+// constraint PC (resp. AD) child of u1 has a similar PC child (resp.
+// descendant) in u2; (3) f_tr(u2) → f_tr(u1)[u1 ↦ u2] is a tautology
+// under the child pairing found in (2).
+func (a *Analysis) Similar(u1, u2 int) bool {
+	ok, _ := a.similarWithMapping(u1, u2)
+	return ok
+}
+
+func (a *Analysis) similarWithMapping(u1, u2 int) (bool, map[int]int) {
+	key := u1*len(a.Q.Nodes) + u2
+	if r, hit := a.similar[key]; hit {
+		return r.ok, r.mapping
+	}
+	// Mark in-progress as failure to cut (impossible) cycles.
+	a.similar[key] = simResult{}
+	ok, mapping := a.computeSimilar(u1, u2)
+	a.similar[key] = simResult{ok: ok, mapping: mapping}
+	return ok, mapping
+}
+
+func (a *Analysis) computeSimilar(u1, u2 int) (bool, map[int]int) {
+	q := a.Q
+	if u1 == u2 {
+		return false, nil
+	}
+	if !q.Nodes[u1].Attr.ImpliedBy(q.Nodes[u2].Attr) {
+		return false, nil
+	}
+	mapping := map[int]int{u1: u2}
+	// Condition (2): recursively match u1's IC children into u2's
+	// subtree, backtracking over the choice of images.
+	var icKids []int
+	for _, c := range q.Nodes[u1].Children {
+		if a.IndepConstraint[c] {
+			icKids = append(icKids, c)
+		}
+	}
+	desc2 := q.Descendants(u2)
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(icKids) {
+			return true
+		}
+		c := icKids[i]
+		var candidates []int
+		if q.Nodes[c].PEdge == PC {
+			for _, d := range q.Nodes[u2].Children {
+				if q.Nodes[d].PEdge == PC {
+					candidates = append(candidates, d)
+				}
+			}
+		} else {
+			candidates = desc2
+		}
+		for _, d := range candidates {
+			ok, sub := a.similarWithMapping(c, d)
+			if !ok {
+				continue
+			}
+			// Tentatively merge and recurse.
+			added := make([]int, 0, len(sub)+1)
+			conflict := false
+			for k, v := range sub {
+				if old, exists := mapping[k]; exists && old != v {
+					conflict = true
+					break
+				}
+				if _, exists := mapping[k]; !exists {
+					mapping[k] = v
+					added = append(added, k)
+				}
+			}
+			if !conflict && match(i+1) {
+				return true
+			}
+			for _, k := range added {
+				delete(mapping, k)
+			}
+		}
+		return false
+	}
+	if !match(0) {
+		return false, nil
+	}
+	// Condition (3): f_tr(u2) → f_tr(u1) with u1-side variables renamed
+	// through the pairing.
+	renamed := a.Ftr[u1].Subst(func(v int) *logic.Formula {
+		if w, okm := mapping[v]; okm {
+			return logic.Var(w)
+		}
+		return nil
+	})
+	if !logic.Implied(a.Ftr[u2], renamed) {
+		return false, nil
+	}
+	return true, mapping
+}
+
+// Subsumed implements u1 ⊴ u2 ("u1 is subsumed by u2"): u1 ⊳ u2 and the
+// parent of u1 is the LCA of u1 and u2, with the PC positional condition
+// — a match of u2 guarantees a match of u1.
+func (a *Analysis) Subsumed(u1, u2 int) bool {
+	q := a.Q
+	if u1 == u2 {
+		return false
+	}
+	if !a.Similar(u1, u2) {
+		return false
+	}
+	p1 := q.Nodes[u1].Parent
+	if p1 == -1 {
+		return false
+	}
+	lca := q.LCA(u1, u2)
+	if lca != p1 {
+		return false
+	}
+	if q.Nodes[u1].PEdge == PC {
+		return q.Nodes[u2].Parent == lca && q.Nodes[u2].PEdge == PC
+	}
+	// u2 must be a proper descendant of the LCA (a distinct subtree): a
+	// match of the LCA itself says nothing about descendants below it.
+	return u2 != lca
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gtpq/internal/graph"
+)
+
+// Answer is the result of a query: the set of distinct projections of
+// matches onto the output nodes. Tuples are parallel to Out.
+type Answer struct {
+	// Out holds the output query-node ids in ascending order.
+	Out []int
+	// Tuples holds one row per result; Tuples[i][j] is the image of
+	// Out[j].
+	Tuples [][]graph.NodeID
+}
+
+// NewAnswer returns an empty answer for the given output nodes.
+func NewAnswer(out []int) *Answer {
+	sorted := append([]int(nil), out...)
+	sort.Ints(sorted)
+	return &Answer{Out: sorted}
+}
+
+// Add appends a tuple (parallel to Out). Deduplication happens in
+// Canonicalize.
+func (a *Answer) Add(t []graph.NodeID) {
+	a.Tuples = append(a.Tuples, t)
+}
+
+// Len returns the number of tuples (call Canonicalize first to get the
+// distinct count).
+func (a *Answer) Len() int { return len(a.Tuples) }
+
+// Canonicalize sorts and deduplicates the tuples in place.
+func (a *Answer) Canonicalize() {
+	sort.Slice(a.Tuples, func(i, j int) bool {
+		return tupleLess(a.Tuples[i], a.Tuples[j])
+	})
+	out := a.Tuples[:0]
+	for i, t := range a.Tuples {
+		if i > 0 && tupleEq(a.Tuples[i-1], t) {
+			continue
+		}
+		out = append(out, t)
+	}
+	a.Tuples = out
+}
+
+func tupleLess(x, y []graph.NodeID) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return x[i] < y[i]
+		}
+	}
+	return false
+}
+
+func tupleEq(x, y []graph.NodeID) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two canonicalized answers are identical.
+func (a *Answer) Equal(b *Answer) bool {
+	if len(a.Out) != len(b.Out) || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			return false
+		}
+	}
+	for i := range a.Tuples {
+		if !tupleEq(a.Tuples[i], b.Tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SameResults reports whether two canonicalized answers contain the same
+// tuples, ignoring the output node ids — the right comparison across
+// queries whose node numbering differs (e.g. original vs minimized).
+func (a *Answer) SameResults(b *Answer) bool {
+	if len(a.Out) != len(b.Out) || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if !tupleEq(a.Tuples[i], b.Tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the answer (for tests and the CLI).
+func (a *Answer) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d result(s) over nodes %v\n", len(a.Tuples), a.Out)
+	for _, t := range a.Tuples {
+		b.WriteString("  (")
+		for i, v := range t {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gtpq/internal/graph"
+)
+
+// Op is a comparison operator of an attribute atom.
+type Op uint8
+
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Atom is one comparison "A op a" of an attribute predicate.
+type Atom struct {
+	Attr string
+	Op   Op
+	Val  graph.Value
+}
+
+func (a Atom) String() string {
+	return fmt.Sprintf("%s%s%s", a.Attr, a.Op, a.Val)
+}
+
+// holds reports whether the comparison `have op want` is true.
+func (a Atom) holds(have graph.Value) bool {
+	c := have.Compare(a.Val)
+	switch a.Op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
+// AttrPred is a conjunction of atoms (the paper's fa(u)); nil/empty is
+// true. A node v satisfies the predicate when every atom's attribute
+// exists on v with a conforming value.
+type AttrPred []Atom
+
+// Label returns an AttrPred matching the primary label — the common case
+// in the evaluation workloads.
+func Label(l string) AttrPred {
+	return AttrPred{{Attr: "label", Op: EQ, Val: graph.StrV(l)}}
+}
+
+// Matches reports whether node v of g satisfies the predicate.
+func (p AttrPred) Matches(g *graph.Graph, v graph.NodeID) bool {
+	for _, a := range p {
+		have, ok := g.Attr(v, a.Attr)
+		if !ok || !a.holds(have) {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelOnly reports the label when the predicate is exactly a primary-
+// label equality, enabling the label-index fast path for candidate
+// scans. ("tag" is not eligible: nodes may carry an explicit tag
+// attribute different from their label.)
+func (p AttrPred) LabelOnly() (string, bool) {
+	if len(p) == 1 && p[0].Op == EQ && p[0].Attr == "label" && !p[0].Val.IsNum {
+		return p[0].Val.Str, true
+	}
+	return "", false
+}
+
+func (p AttrPred) String() string {
+	if len(p) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(p))
+	for i, a := range p {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Satisfiable reports whether some attribute tuple satisfies p,
+// assuming a dense, unbounded total order per attribute (numbers and
+// the practical string domains of the workloads).
+func (p AttrPred) Satisfiable() bool {
+	byAttr := map[string][]Atom{}
+	for _, a := range p {
+		byAttr[a.Attr] = append(byAttr[a.Attr], a)
+	}
+	for _, atoms := range byAttr {
+		if !satisfiableOneAttr(atoms) {
+			return false
+		}
+	}
+	return true
+}
+
+func satisfiableOneAttr(atoms []Atom) bool {
+	var eq *graph.Value
+	var ne []graph.Value
+	var lo, hi *graph.Value
+	loStrict, hiStrict := false, false
+
+	tightenLo := func(v graph.Value, strict bool) {
+		if lo == nil || v.Compare(*lo) > 0 || (v.Compare(*lo) == 0 && strict) {
+			val := v
+			lo, loStrict = &val, strict
+		}
+	}
+	tightenHi := func(v graph.Value, strict bool) {
+		if hi == nil || v.Compare(*hi) < 0 || (v.Compare(*hi) == 0 && strict) {
+			val := v
+			hi, hiStrict = &val, strict
+		}
+	}
+	for _, a := range atoms {
+		switch a.Op {
+		case EQ:
+			if eq != nil && eq.Compare(a.Val) != 0 {
+				return false
+			}
+			v := a.Val
+			eq = &v
+		case NE:
+			ne = append(ne, a.Val)
+		case LT:
+			tightenHi(a.Val, true)
+		case LE:
+			tightenHi(a.Val, false)
+		case GT:
+			tightenLo(a.Val, true)
+		case GE:
+			tightenLo(a.Val, false)
+		}
+	}
+	if eq != nil {
+		for _, x := range ne {
+			if x.Compare(*eq) == 0 {
+				return false
+			}
+		}
+		if lo != nil {
+			if c := eq.Compare(*lo); c < 0 || (c == 0 && loStrict) {
+				return false
+			}
+		}
+		if hi != nil {
+			if c := eq.Compare(*hi); c > 0 || (c == 0 && hiStrict) {
+				return false
+			}
+		}
+		return true
+	}
+	if lo != nil && hi != nil {
+		c := lo.Compare(*hi)
+		if c > 0 {
+			return false
+		}
+		if c == 0 {
+			if loStrict || hiStrict {
+				return false
+			}
+			// The interval is the single point lo; excluded?
+			for _, x := range ne {
+				if x.Compare(*lo) == 0 {
+					return false
+				}
+			}
+		}
+	}
+	// Open or dense interval: finitely many exclusions cannot exhaust it.
+	return true
+}
+
+// ImpliedBy implements the paper's syntactic attribute-implication test
+// u2 ⊢ u1 ("for each formula A op a1 in fa(u1) there is A op a2 in
+// fa(u2) such that ..."): every atom of p (u1's predicate) must be
+// entailed by an atom of stronger with the same attribute and operator.
+func (p AttrPred) ImpliedBy(stronger AttrPred) bool {
+	for _, a1 := range p {
+		ok := false
+		for _, a2 := range stronger {
+			if a2.Attr != a1.Attr || a2.Op != a1.Op {
+				continue
+			}
+			c := a2.Val.Compare(a1.Val)
+			switch a1.Op {
+			case LE, LT:
+				ok = c <= 0
+			case GE, GT:
+				ok = c >= 0
+			case EQ, NE:
+				ok = c == 0
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+	"gtpq/internal/reach"
+)
+
+// smallGraph builds:
+//
+//	a0 -> b1 -> c2
+//	a0 -> c3
+//	b1 -> d4
+//	a5 -> b6          (b6 has no c below)
+func smallGraph() (*graph.Graph, []graph.NodeID) {
+	g := graph.New(0, 0)
+	a0 := g.AddNode("a", nil)
+	b1 := g.AddNode("b", nil)
+	c2 := g.AddNode("c", nil)
+	c3 := g.AddNode("c", nil)
+	d4 := g.AddNode("d", nil)
+	a5 := g.AddNode("a", nil)
+	b6 := g.AddNode("b", nil)
+	g.AddEdge(a0, b1)
+	g.AddEdge(b1, c2)
+	g.AddEdge(a0, c3)
+	g.AddEdge(b1, d4)
+	g.AddEdge(a5, b6)
+	g.Freeze()
+	return g, []graph.NodeID{a0, b1, c2, c3, d4, a5, b6}
+}
+
+func evalOn(t *testing.T, g *graph.Graph, q *Query) *Answer {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("invalid query: %v", err)
+	}
+	return EvalNaive(g, reach.NewTC(g), q)
+}
+
+func TestEvalConjunctive(t *testing.T) {
+	g, ids := smallGraph()
+	// a[//b and //c]* — both a0 (has b1, c2/c3) and ... a5 has b6 but no c.
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	b := q.AddNode("b", Predicate, r, AD, Label("b"))
+	c := q.AddNode("c", Predicate, r, AD, Label("c"))
+	q.SetStruct(r, logic.And(logic.Var(b), logic.Var(c)))
+	q.SetOutput(r)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[0] {
+		t.Fatalf("answer = %s, want just a0", ans)
+	}
+}
+
+func TestEvalDisjunction(t *testing.T) {
+	g, ids := smallGraph()
+	// a[//c or //d]*: a0 qualifies (c,d below); a5 does not.
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	c := q.AddNode("c", Predicate, r, AD, Label("c"))
+	d := q.AddNode("d", Predicate, r, AD, Label("d"))
+	q.SetStruct(r, logic.Or(logic.Var(c), logic.Var(d)))
+	q.SetOutput(r)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[0] {
+		t.Fatalf("answer = %s, want just a0", ans)
+	}
+	// a[//c or //x]* with x absent still returns a0 via c.
+	q2 := NewQuery()
+	r2 := q2.AddRoot("a", Label("a"))
+	c2 := q2.AddNode("c", Predicate, r2, AD, Label("c"))
+	x2 := q2.AddNode("x", Predicate, r2, AD, Label("x"))
+	q2.SetStruct(r2, logic.Or(logic.Var(c2), logic.Var(x2)))
+	q2.SetOutput(r2)
+	if ans := evalOn(t, g, q2); ans.Len() != 1 {
+		t.Fatalf("disjunction with empty branch: %s", ans)
+	}
+}
+
+func TestEvalNegation(t *testing.T) {
+	g, ids := smallGraph()
+	// a[not //c]*: only a5.
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	c := q.AddNode("c", Predicate, r, AD, Label("c"))
+	q.SetStruct(r, logic.Not(logic.Var(c)))
+	q.SetOutput(r)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[5] {
+		t.Fatalf("answer = %s, want just a5", ans)
+	}
+}
+
+func TestEvalPCEdge(t *testing.T) {
+	g, ids := smallGraph()
+	// a/c* (PC): only a0 -> c3 (c2 is a grandchild).
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	c := q.AddNode("c", Backbone, r, PC, Label("c"))
+	q.SetOutput(c)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[3] {
+		t.Fatalf("answer = %s, want just c3", ans)
+	}
+	// a//c* (AD): c2 and c3.
+	q2 := NewQuery()
+	r2 := q2.AddRoot("a", Label("a"))
+	c2 := q2.AddNode("c", Backbone, r2, AD, Label("c"))
+	q2.SetOutput(c2)
+	ans2 := evalOn(t, g, q2)
+	if ans2.Len() != 2 {
+		t.Fatalf("answer = %s, want c2 and c3", ans2)
+	}
+	_ = r
+	_ = r2
+}
+
+func TestEvalMultipleOutputs(t *testing.T) {
+	g, ids := smallGraph()
+	// a* // b* — pairs (a0,b1), (a5,b6).
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	b := q.AddNode("b", Backbone, r, AD, Label("b"))
+	q.SetOutput(r)
+	q.SetOutput(b)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 2 {
+		t.Fatalf("answer = %s", ans)
+	}
+	if ans.Tuples[0][0] != ids[0] || ans.Tuples[0][1] != ids[1] {
+		t.Errorf("first tuple = %v", ans.Tuples[0])
+	}
+	if ans.Tuples[1][0] != ids[5] || ans.Tuples[1][1] != ids[6] {
+		t.Errorf("second tuple = %v", ans.Tuples[1])
+	}
+}
+
+func TestEvalNestedPredicates(t *testing.T) {
+	g, ids := smallGraph()
+	// a[//b[//c]]*: b must itself have a c below — a0 only (b1 has c2).
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	b := q.AddNode("b", Predicate, r, AD, Label("b"))
+	c := q.AddNode("c", Predicate, b, AD, Label("c"))
+	q.SetStruct(r, logic.Var(b))
+	q.SetStruct(b, logic.Var(c))
+	q.SetOutput(r)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[0] {
+		t.Fatalf("answer = %s, want just a0", ans)
+	}
+}
+
+func TestEvalMixedFormula(t *testing.T) {
+	g, ids := smallGraph()
+	// a[ //b & !//d ]*: a0 has d4 below -> excluded; a5 has b6, no d -> match.
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	b := q.AddNode("b", Predicate, r, AD, Label("b"))
+	d := q.AddNode("d", Predicate, r, AD, Label("d"))
+	q.SetStruct(r, logic.And(logic.Var(b), logic.Not(logic.Var(d))))
+	q.SetOutput(r)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[5] {
+		t.Fatalf("answer = %s, want just a5", ans)
+	}
+}
+
+func TestEvalOnCyclicGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	g.Freeze()
+	// a//b*: the cycle makes b a descendant of a.
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	bb := q.AddNode("b", Backbone, r, AD, Label("b"))
+	q.SetOutput(bb)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != b {
+		t.Fatalf("answer = %s", ans)
+	}
+	// a//a*: a strictly reaches itself through the cycle.
+	q2 := NewQuery()
+	r2 := q2.AddRoot("a", Label("a"))
+	aa := q2.AddNode("a2", Backbone, r2, AD, Label("a"))
+	q2.SetOutput(aa)
+	ans2 := evalOn(t, g, q2)
+	if ans2.Len() != 1 || ans2.Tuples[0][0] != a {
+		t.Fatalf("cycle answer = %s", ans2)
+	}
+	_ = r
+	_ = r2
+}
+
+func TestEvalEmptyResult(t *testing.T) {
+	g, _ := smallGraph()
+	q := NewQuery()
+	r := q.AddRoot("z", Label("z"))
+	q.SetOutput(r)
+	ans := evalOn(t, g, q)
+	if ans.Len() != 0 {
+		t.Fatalf("answer = %s, want empty", ans)
+	}
+}
+
+func TestDownwardMatches(t *testing.T) {
+	g, ids := smallGraph()
+	q := NewQuery()
+	r := q.AddRoot("a", Label("a"))
+	b := q.AddNode("b", Predicate, r, AD, Label("b"))
+	c := q.AddNode("c", Predicate, b, AD, Label("c"))
+	q.SetStruct(r, logic.Var(b))
+	q.SetStruct(b, logic.Var(c))
+	q.SetOutput(r)
+	down := DownwardMatches(g, reach.NewTC(g), q)
+	// down[b] = {b1} (b6 has no c below)
+	if len(down[b]) != 1 || down[b][0] != ids[1] {
+		t.Errorf("down[b] = %v", down[b])
+	}
+	if len(down[r]) != 1 || down[r][0] != ids[0] {
+		t.Errorf("down[r] = %v", down[r])
+	}
+	if len(down[c]) != 2 {
+		t.Errorf("down[c] = %v", down[c])
+	}
+}
+
+func TestCandidatesAttrScan(t *testing.T) {
+	g := graph.New(0, 0)
+	paperNode(g, "b", 1)
+	v2 := paperNode(g, "b", 2)
+	v3 := paperNode(g, "b", 3)
+	g.Freeze()
+	got := Candidates(g, paperAttr("b", 2))
+	if len(got) != 2 || got[0] != v2 || got[1] != v3 {
+		t.Errorf("Candidates = %v", got)
+	}
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+	"gtpq/internal/reach"
+)
+
+// fig4Q1 builds Q1 of Fig 4: root u1:A1 with AD children u2:B2 (pred,
+// child u4:F1) and u3:B1 (backbone, output); u3 has AD predicate
+// children u5:C1 (child u8:D1) and u6:B2 (child u7:F1). Structural
+// predicates (Example 4):
+//
+//	fs(u1) = rootPred(p_u2)   fs(u2) = p_u4    fs(u5) = p_u8
+//	fs(u3) = (p_u5 & p_u6) | (!p_u5 & p_u6)    fs(u6) = p_u7
+//
+// Node ids are returned in u-order (u1..u8 -> ids[0..7]).
+func fig4Q1(rootPred func(pu2 *logic.Formula) *logic.Formula, u2Edge EdgeType) (*Query, []int) {
+	q := NewQuery()
+	u1 := q.AddRoot("u1", paperAttr("a", 1))
+	u2 := q.AddNode("u2", Predicate, u1, u2Edge, paperAttr("b", 2))
+	u3 := q.AddNode("u3", Backbone, u1, AD, paperAttr("b", 1))
+	u4 := q.AddNode("u4", Predicate, u2, AD, paperAttr("f", 1))
+	u5 := q.AddNode("u5", Predicate, u3, AD, paperAttr("c", 1))
+	u6 := q.AddNode("u6", Predicate, u3, AD, paperAttr("b", 2))
+	u7 := q.AddNode("u7", Predicate, u6, AD, paperAttr("f", 1))
+	u8 := q.AddNode("u8", Predicate, u5, AD, paperAttr("d", 1))
+	q.SetStruct(u1, rootPred(logic.Var(u2)))
+	q.SetStruct(u2, logic.Var(u4))
+	q.SetStruct(u3, logic.Or(
+		logic.And(logic.Var(u5), logic.Var(u6)),
+		logic.And(logic.Not(logic.Var(u5)), logic.Var(u6))))
+	q.SetStruct(u5, logic.Var(u8))
+	q.SetStruct(u6, logic.Var(u7))
+	q.SetOutput(u3)
+	return q, []int{u1, u2, u3, u4, u5, u6, u7, u8}
+}
+
+// fig4Q3 builds Q3 of Fig 4 / Example 5: the conjunctive path
+// u1:A1 // u2:B1(*) // u3:B2 // u4:F1.
+func fig4Q3() *Query {
+	q := NewQuery()
+	u1 := q.AddRoot("u1", paperAttr("a", 1))
+	u2 := q.AddNode("u2", Backbone, u1, AD, paperAttr("b", 1))
+	u3 := q.AddNode("u3", Predicate, u2, AD, paperAttr("b", 2))
+	u4 := q.AddNode("u4", Predicate, u3, AD, paperAttr("f", 1))
+	q.SetStruct(u2, logic.Var(u3))
+	q.SetStruct(u3, logic.Var(u4))
+	q.SetOutput(u2)
+	return q
+}
+
+func TestIndependentlyConstraintNodes(t *testing.T) {
+	// Example 4: u5 and u8 are the two non-independently-constraint
+	// nodes of Q1/Q2 (fs(u3) does not depend on p_u5).
+	q, ids := fig4Q1(logic.Not, AD)
+	a := Analyze(q)
+	for i, u := range ids {
+		want := true
+		if i == 4 || i == 7 { // u5, u8
+			want = false
+		}
+		if a.IndepConstraint[u] != want {
+			t.Errorf("IndepConstraint[u%d] = %v, want %v", i+1, a.IndepConstraint[u], want)
+		}
+	}
+}
+
+func TestTransitivePredicateExample(t *testing.T) {
+	// Example 4 on Fig 2's u3-style node: ftr substitutes IC children.
+	// Here: ftr(u3) should imply p_u6 & p_u7 in both disjuncts.
+	q, ids := fig4Q1(logic.Not, AD)
+	a := Analyze(q)
+	u3, u6, u7 := ids[2], ids[5], ids[6]
+	want := logic.And(logic.Var(u6), logic.Var(u7))
+	if !logic.Implied(a.Ftr[u3], want) {
+		t.Errorf("ftr(u3) = %s should imply p_u6 & p_u7", a.Ftr[u3])
+	}
+}
+
+func TestSubsumptionADvsPC(t *testing.T) {
+	// Example 4: u2 ⊴ u6 in Q1 (u2 an AD child of u1), but not in Q2
+	// where u2 is a PC child of u1 while u6 is not a PC child of u1.
+	q1, ids1 := fig4Q1(logic.Not, AD)
+	a1 := Analyze(q1)
+	if !a1.Subsumed(ids1[1], ids1[5]) {
+		t.Error("Q1: u2 should be subsumed by u6")
+	}
+	if a1.Subsumed(ids1[5], ids1[1]) {
+		t.Error("Q1: u6 must not be subsumed by u2 (LCA is not u6's parent)")
+	}
+
+	q2, ids2 := fig4Q1(logic.Not, PC)
+	a2 := Analyze(q2)
+	if a2.Subsumed(ids2[1], ids2[5]) {
+		t.Error("Q2: u2 (PC child) must not be subsumed by u6 (non-PC)")
+	}
+}
+
+func TestSatisfiabilityFig4(t *testing.T) {
+	// Example 4: with fs(u1) = !p_u2, Q1 is unsatisfiable but Q2 (PC
+	// variant) is satisfiable.
+	q1, _ := fig4Q1(logic.Not, AD)
+	if Satisfiable(q1) {
+		t.Error("Q1 should be unsatisfiable")
+	}
+	q2, _ := fig4Q1(logic.Not, PC)
+	if !Satisfiable(q2) {
+		t.Error("Q2 should be satisfiable")
+	}
+}
+
+func TestSatisfiabilityUnionConjunctive(t *testing.T) {
+	// Theorem 2(1): union-conjunctive queries with satisfiable attribute
+	// predicates are always satisfiable.
+	q := NewQuery()
+	r := q.AddRoot("r", Label("a"))
+	p1 := q.AddNode("p1", Predicate, r, AD, Label("b"))
+	p2 := q.AddNode("p2", Predicate, r, AD, Label("c"))
+	q.SetStruct(r, logic.Or(logic.Var(p1), logic.Var(p2)))
+	q.SetOutput(r)
+	if !Satisfiable(q) {
+		t.Error("union-conjunctive query should be satisfiable")
+	}
+}
+
+func TestSatisfiabilityUnsatAttr(t *testing.T) {
+	q := NewQuery()
+	r := q.AddRoot("r", AttrPred{
+		{Attr: "a", Op: EQ, Val: graph.NumV(1)},
+		{Attr: "a", Op: EQ, Val: graph.NumV(2)},
+	})
+	q.SetOutput(r)
+	if Satisfiable(q) {
+		t.Error("root with unsatisfiable attributes should make the query unsatisfiable")
+	}
+}
+
+func TestSatisfiabilityContradictoryStruct(t *testing.T) {
+	// fs(r) = p & !p is unsatisfiable.
+	q := NewQuery()
+	r := q.AddRoot("r", Label("a"))
+	p := q.AddNode("p", Predicate, r, AD, Label("b"))
+	q.SetStruct(r, logic.And(logic.Var(p), logic.Not(logic.Var(p))))
+	q.SetOutput(r)
+	if Satisfiable(q) {
+		t.Error("contradictory structural predicate should be unsatisfiable")
+	}
+}
+
+func TestSatisfiabilityAgreesWithConstruction(t *testing.T) {
+	// Satisfiable queries must admit a witness graph; we check
+	// empirically: a satisfiable conjunctive query evaluated over a graph
+	// shaped exactly like the query yields a result.
+	q := NewQuery()
+	r := q.AddRoot("r", Label("a"))
+	b := q.AddNode("b", Backbone, r, AD, Label("b"))
+	p := q.AddNode("p", Predicate, b, PC, Label("c"))
+	q.SetStruct(b, logic.Var(p))
+	q.SetOutput(b)
+	if !Satisfiable(q) {
+		t.Fatal("query should be satisfiable")
+	}
+	g := graph.New(0, 0)
+	va := g.AddNode("a", nil)
+	vb := g.AddNode("b", nil)
+	vc := g.AddNode("c", nil)
+	g.AddEdge(va, vb)
+	g.AddEdge(vb, vc)
+	g.Freeze()
+	if EvalNaive(g, reach.NewTC(g), q).Len() == 0 {
+		t.Error("witness graph yields no results")
+	}
+}
+
+func TestContainmentFig4(t *testing.T) {
+	// Example 5: with fs(u1) = p_u2, Q2 ⊑ Q3, Q2 ⊑ Q1, Q1 ≡ Q3.
+	ident := func(f *logic.Formula) *logic.Formula { return f }
+	q1, _ := fig4Q1(ident, AD)
+	q2, _ := fig4Q1(ident, PC)
+	q3 := fig4Q3()
+
+	if !Contained(q2, q3) {
+		t.Error("Q2 ⊑ Q3 expected")
+	}
+	if !Contained(q2, q1) {
+		t.Error("Q2 ⊑ Q1 expected")
+	}
+	if !Contained(q1, q3) || !Contained(q3, q1) {
+		t.Error("Q1 ≡ Q3 expected")
+	}
+	if !Equivalent(q1, q3) {
+		t.Error("Equivalent(Q1,Q3) expected")
+	}
+	if Contained(q3, q2) {
+		t.Error("Q3 ⊑ Q2 must fail (PC is stricter)")
+	}
+}
+
+func TestContainmentEmpiric(t *testing.T) {
+	// Containment must hold on actual evaluations: every Q2 result is a
+	// Q1/Q3 result on random graphs.
+	ident := func(f *logic.Formula) *logic.Formula { return f }
+	q2, _ := fig4Q1(ident, PC)
+	q3 := fig4Q3()
+	r := rand.New(rand.NewSource(21))
+	letters := []string{"a", "b", "c", "d", "f"}
+	for trial := 0; trial < 25; trial++ {
+		g := graph.New(0, 0)
+		n := 8 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			paperNode(g, letters[r.Intn(len(letters))], float64(1+r.Intn(2)))
+		}
+		for e := 0; e < n*2; e++ {
+			u := r.Intn(n - 1)
+			g.AddEdge(graph.NodeID(u), graph.NodeID(u+1+r.Intn(n-u-1)))
+		}
+		g.Freeze()
+		tc := reach.NewTC(g)
+		a2 := EvalNaive(g, tc, q2)
+		a3 := EvalNaive(g, tc, q3)
+		in3 := map[graph.NodeID]bool{}
+		for _, tp := range a3.Tuples {
+			in3[tp[0]] = true
+		}
+		for _, tp := range a2.Tuples {
+			if !in3[tp[0]] {
+				t.Fatalf("trial %d: Q2 result %v missing from Q3", trial, tp)
+			}
+		}
+	}
+}
+
+func TestMinimizeFig4(t *testing.T) {
+	// Example 6: Q1 with fs(u1) = p_u2 minimizes to the 4-node Q3.
+	ident := func(f *logic.Formula) *logic.Formula { return f }
+	q1, _ := fig4Q1(ident, AD)
+	m := Minimize(q1)
+	if m.Size() != 4 {
+		t.Fatalf("Minimize(Q1) has %d nodes, want 4:\n%s", m.Size(), m)
+	}
+	if !Equivalent(m, fig4Q3()) {
+		t.Errorf("minimized query not equivalent to Q3:\n%s", m)
+	}
+	if !Equivalent(m, q1) {
+		t.Errorf("minimized query not equivalent to the original")
+	}
+}
+
+func TestMinimizeRemovesNonICNodes(t *testing.T) {
+	// fs does not depend on p: the predicate subtree disappears.
+	q := NewQuery()
+	r := q.AddRoot("r", Label("a"))
+	p := q.AddNode("p", Predicate, r, AD, Label("b"))
+	x := q.AddNode("x", Predicate, r, AD, Label("c"))
+	q.SetStruct(r, logic.Or(logic.Var(x), logic.And(logic.Var(x), logic.Var(p))))
+	q.SetOutput(r)
+	m := Minimize(q)
+	if m.Size() != 2 {
+		t.Fatalf("Minimize left %d nodes, want 2:\n%s", m.Size(), m)
+	}
+}
+
+func TestMinimizeUnsatisfiableAttrSubtree(t *testing.T) {
+	q := NewQuery()
+	r := q.AddRoot("r", Label("a"))
+	p := q.AddNode("p", Predicate, r, AD, AttrPred{
+		{Attr: "y", Op: GT, Val: graph.NumV(3)},
+		{Attr: "y", Op: LT, Val: graph.NumV(2)},
+	})
+	x := q.AddNode("x", Predicate, r, AD, Label("c"))
+	q.SetStruct(r, logic.Or(logic.Var(p), logic.Var(x)))
+	q.SetOutput(r)
+	m := Minimize(q)
+	if m.Size() != 2 {
+		t.Fatalf("Minimize left %d nodes, want 2:\n%s", m.Size(), m)
+	}
+	if !Satisfiable(m) {
+		t.Error("minimized query should stay satisfiable via x")
+	}
+}
+
+func TestMinimizeUnsatisfiableQuery(t *testing.T) {
+	q := NewQuery()
+	r := q.AddRoot("r", Label("a"))
+	p := q.AddNode("p", Predicate, r, AD, Label("b"))
+	q.SetStruct(r, logic.And(logic.Var(p), logic.Not(logic.Var(p))))
+	q.SetOutput(r)
+	m := Minimize(q)
+	if m.Size() != 1 {
+		t.Fatalf("unsatisfiable query should minimize to one node, got %d", m.Size())
+	}
+	if Satisfiable(m) {
+		t.Error("minimized unsatisfiable query must stay unsatisfiable")
+	}
+}
+
+func TestMinimizePreservesResults(t *testing.T) {
+	// Property: Minimize preserves evaluation on random graphs for the
+	// Fig 4 family.
+	ident := func(f *logic.Formula) *logic.Formula { return f }
+	q1, _ := fig4Q1(ident, AD)
+	m := Minimize(q1)
+	r := rand.New(rand.NewSource(23))
+	letters := []string{"a", "b", "c", "d", "f"}
+	for trial := 0; trial < 25; trial++ {
+		g := graph.New(0, 0)
+		n := 6 + r.Intn(14)
+		for i := 0; i < n; i++ {
+			paperNode(g, letters[r.Intn(len(letters))], float64(1+r.Intn(2)))
+		}
+		for e := 0; e < n*2; e++ {
+			u := r.Intn(n - 1)
+			g.AddEdge(graph.NodeID(u), graph.NodeID(u+1+r.Intn(n-u-1)))
+		}
+		g.Freeze()
+		tc := reach.NewTC(g)
+		a1 := EvalNaive(g, tc, q1)
+		am := EvalNaive(g, tc, m)
+		if !a1.SameResults(am) {
+			t.Fatalf("trial %d: results differ\noriginal: %sminimized: %s", trial, a1, am)
+		}
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	ident := func(f *logic.Formula) *logic.Formula { return f }
+	q1, _ := fig4Q1(ident, AD)
+	m := Minimize(q1)
+	m2 := Minimize(m)
+	if m2.Size() != m.Size() {
+		t.Errorf("Minimize not idempotent: %d then %d nodes", m.Size(), m2.Size())
+	}
+}
+
+func TestContainmentSelf(t *testing.T) {
+	ident := func(f *logic.Formula) *logic.Formula { return f }
+	for _, q := range []*Query{fig4Q3(), mustQ(fig4Q1(ident, AD)), mustQ(fig4Q1(ident, PC))} {
+		if !Contained(q, q) {
+			t.Errorf("query not contained in itself:\n%s", q)
+		}
+	}
+}
+
+func mustQ(q *Query, _ []int) *Query { return q }
+
+func TestContainmentDifferentOutputs(t *testing.T) {
+	// Queries with different output arities are never contained.
+	q1 := NewQuery()
+	r1 := q1.AddRoot("r", Label("a"))
+	b1 := q1.AddNode("b", Backbone, r1, AD, Label("b"))
+	q1.SetOutput(r1)
+	q1.SetOutput(b1)
+
+	q2 := NewQuery()
+	r2 := q2.AddRoot("r", Label("a"))
+	q2.AddNode("b", Backbone, r2, AD, Label("b"))
+	q2.SetOutput(r2)
+
+	if Contained(q1, q2) || Contained(q2, q1) {
+		t.Error("different output arities must not be contained")
+	}
+}
+
+func TestSatReductionFromSAT(t *testing.T) {
+	// Theorem 2(2) construction: the GTPQ built from a propositional
+	// formula is satisfiable iff the formula is.
+	build := func(f *logic.Formula, nv int) *Query {
+		q := NewQuery()
+		r := q.AddRoot("r", Label("root"))
+		vars := make([]int, nv)
+		for i := 0; i < nv; i++ {
+			vars[i] = q.AddNode("x", Predicate, r, AD, Label("leaf"))
+		}
+		q.SetStruct(r, f.Subst(func(v int) *logic.Formula { return logic.Var(vars[v]) }))
+		q.SetOutput(r)
+		return q
+	}
+	sat := logic.MustParse("(v0 | v1) & (!v0 | v1)", nil)
+	if !Satisfiable(build(sat, 2)) {
+		t.Error("satisfiable formula should give satisfiable query")
+	}
+	unsat := logic.MustParse("(v0 | v1) & !v0 & !v1", nil)
+	if Satisfiable(build(unsat, 2)) {
+		t.Error("unsatisfiable formula should give unsatisfiable query")
+	}
+}

@@ -1,0 +1,278 @@
+// Package decomp's test doubles as the cross-baseline differential
+// suite: every conjunctive engine (TwigStack, Twig2Stack, TwigStackD,
+// HGJoin+, HGJoin*) is tested against the naive oracle on random
+// document forests with cross edges, and the decomposition wrapper is
+// tested on full GTPQs with disjunction and negation.
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/hgjoin"
+	"gtpq/internal/logic"
+	"gtpq/internal/reach"
+	"gtpq/internal/twig2stack"
+	"gtpq/internal/twigstack"
+	"gtpq/internal/twigstackd"
+)
+
+// randForest builds a random document forest (every node has at most
+// one tree parent), optionally with IDREF-style cross edges. Tree
+// algorithms only see tree reachability — cross edges must be traversed
+// through explicit ViaRef query edges (the paper's dotted edges) — so
+// differential tests for them use pure forests.
+func randForest(r *rand.Rand, n int, labels []string, cross bool) *graph.Graph {
+	g := graph.New(n, n)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[r.Intn(len(labels))], nil)
+	}
+	for i := 1; i < n; i++ {
+		if r.Intn(6) == 0 {
+			continue // forest: some extra roots
+		}
+		g.AddEdge(graph.NodeID(r.Intn(i)), graph.NodeID(i))
+	}
+	if cross {
+		for k := 0; k < n/5; k++ {
+			u := r.Intn(n - 1)
+			g.AddCrossEdge(graph.NodeID(u), graph.NodeID(u+1+r.Intn(n-u-1)))
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// randConjQuery builds a random conjunctive TPQ without ViaRef edges.
+func randConjQuery(r *rand.Rand, size int, labels []string, allowPC bool) *core.Query {
+	q := core.NewQuery()
+	root := q.AddRoot("n0", core.Label(labels[r.Intn(len(labels))]))
+	for i := 1; i < size; i++ {
+		edge := core.AD
+		if allowPC && r.Intn(3) == 0 {
+			edge = core.PC
+		}
+		q.AddNode("n", core.Backbone, r.Intn(i), edge, core.Label(labels[r.Intn(len(labels))]))
+	}
+	for _, n := range q.Nodes {
+		if r.Intn(2) == 0 {
+			q.SetOutput(n.ID)
+		}
+	}
+	if len(q.Outputs()) == 0 {
+		q.SetOutput(root)
+	}
+	return q
+}
+
+type engineFn func(g *graph.Graph) func(q *core.Query) *core.Answer
+
+var conjunctiveEngines = map[string]engineFn{
+	"twigstack": func(g *graph.Graph) func(q *core.Query) *core.Answer {
+		e := twigstack.New(g)
+		return e.Eval
+	},
+	"twig2stack": func(g *graph.Graph) func(q *core.Query) *core.Answer {
+		e := twig2stack.New(g)
+		return e.Eval
+	},
+	"twigstackd": func(g *graph.Graph) func(q *core.Query) *core.Answer {
+		e := twigstackd.New(g)
+		return e.Eval
+	},
+	"hgjoin+": func(g *graph.Graph) func(q *core.Query) *core.Answer {
+		e := hgjoin.New(g)
+		return e.EvalPlus
+	},
+	"hgjoin*": func(g *graph.Graph) func(q *core.Query) *core.Answer {
+		e := hgjoin.New(g)
+		return e.EvalStar
+	},
+}
+
+func TestConjunctiveBaselinesMatchOracle(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	for name, mk := range conjunctiveEngines {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(301))
+			treeOnly := name == "twigstack" || name == "twig2stack"
+			for trial := 0; trial < 40; trial++ {
+				g := randForest(r, 8+r.Intn(25), labels, !treeOnly)
+				q := randConjQuery(r, 2+r.Intn(5), labels, true)
+				want := core.EvalNaive(g, reach.NewTC(g), q)
+				got := mk(g)(q)
+				if !want.Equal(got) {
+					t.Fatalf("trial %d: mismatch\nquery:\n%s\nwant: %sgot:  %s", trial, q, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeEnginesWithRefEdges exercises the decompose-at-IDREF path:
+// the query contains a ViaRef edge that must be followed through cross
+// edges only.
+func TestTreeEnginesWithRefEdges(t *testing.T) {
+	g := graph.New(0, 0)
+	// Two trees: a->b(ref)  and  c->d ; cross edge b=>c.
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	d := g.AddNode("d", nil)
+	g.AddEdge(a, b)
+	g.AddCrossEdge(b, c)
+	g.AddEdge(c, d)
+	// A distractor "c" tree not referenced by anything.
+	c2 := g.AddNode("c", nil)
+	g.AddNode("d", nil)
+	g.AddEdge(c2, g.AddNode("d", nil))
+	g.Freeze()
+
+	q := core.NewQuery()
+	ra := q.AddRoot("a", core.Label("a"))
+	rb := q.AddNode("b", core.Backbone, ra, core.AD, core.Label("b"))
+	rc := q.AddNode("c", core.Backbone, rb, core.PC, core.Label("c"))
+	q.SetViaRef(rc)
+	rd := q.AddNode("d", core.Backbone, rc, core.AD, core.Label("d"))
+	q.SetOutput(rc)
+	q.SetOutput(rd)
+
+	for _, name := range []string{"twigstack", "twig2stack"} {
+		got := conjunctiveEngines[name](g)(q)
+		if got.Len() != 1 || got.Tuples[0][0] != c || got.Tuples[0][1] != d {
+			t.Errorf("%s: answer = %s, want (c=2, d=3)", name, got)
+		}
+	}
+	// Graph engines treat the ref edge as an ordinary PC edge.
+	wantAns := core.EvalNaive(g, reach.NewTC(g), q)
+	for _, name := range []string{"twigstackd", "hgjoin+", "hgjoin*"} {
+		got := conjunctiveEngines[name](g)(q)
+		if !wantAns.Equal(got) {
+			t.Errorf("%s: answer = %s, want %s", name, got, wantAns)
+		}
+	}
+	if e := gtea.New(g); !wantAns.Equal(e.Eval(q)) {
+		t.Errorf("gtea: ref-edge query mismatch")
+	}
+}
+
+// randGTPQ builds a random full GTPQ (AD edges only for the tree
+// engines' benefit) whose negation anchors may be any node.
+func randGTPQ(r *rand.Rand, size int, labels []string) *core.Query {
+	q := core.NewQuery()
+	root := q.AddRoot("n0", core.Label(labels[r.Intn(len(labels))]))
+	backbones := []int{root}
+	for i := 1; i < size; i++ {
+		kind := core.Backbone
+		if r.Intn(2) == 0 {
+			kind = core.Predicate
+		}
+		var parent int
+		if kind == core.Backbone {
+			parent = backbones[r.Intn(len(backbones))]
+		} else {
+			parent = r.Intn(i)
+		}
+		id := q.AddNode("n", kind, parent, core.AD, core.Label(labels[r.Intn(len(labels))]))
+		if kind == core.Backbone {
+			backbones = append(backbones, id)
+		}
+	}
+	for _, n := range q.Nodes {
+		var preds []int
+		for _, c := range n.Children {
+			if q.Nodes[c].Kind == core.Predicate {
+				preds = append(preds, c)
+			}
+		}
+		if len(preds) == 0 {
+			continue
+		}
+		parts := make([]*logic.Formula, len(preds))
+		for i, p := range preds {
+			v := logic.Var(p)
+			if r.Intn(3) == 0 {
+				v = logic.Not(v)
+			}
+			parts[i] = v
+		}
+		if r.Intn(2) == 0 {
+			q.SetStruct(n.ID, logic.And(parts...))
+		} else {
+			q.SetStruct(n.ID, logic.Or(parts...))
+		}
+	}
+	for _, b := range backbones {
+		if r.Intn(2) == 0 {
+			q.SetOutput(b)
+		}
+	}
+	if len(q.Outputs()) == 0 {
+		q.SetOutput(root)
+	}
+	return q
+}
+
+func TestDecompWrapperMatchesOracle(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	for _, name := range []string{"twigstack", "twigstackd", "hgjoin+"} {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(302))
+			for trial := 0; trial < 30; trial++ {
+				g := randForest(r, 8+r.Intn(20), labels, name != "twigstack")
+				q := randGTPQ(r, 2+r.Intn(6), labels)
+				tc := reach.NewTC(g)
+				want := core.EvalNaive(g, tc, q)
+				var inner ConjunctiveEngine
+				switch name {
+				case "twigstack":
+					inner = twigstack.New(g)
+				case "twigstackd":
+					inner = twigstackd.New(g)
+				default:
+					inner = plusAdapter{hgjoin.New(g)}
+				}
+				w := New(g, inner, tc)
+				got := w.Eval(q)
+				if !want.Equal(got) {
+					t.Fatalf("trial %d: mismatch (%d subqueries)\nquery:\n%s\nwant: %sgot:  %s",
+						trial, w.Subqueries, q, want, got)
+				}
+			}
+		})
+	}
+}
+
+type plusAdapter struct{ e *hgjoin.Engine }
+
+func (a plusAdapter) Eval(q *core.Query) *core.Answer { return a.e.EvalPlus(q) }
+
+func TestDecompSubqueryBlowup(t *testing.T) {
+	// n independent disjunctions multiply: 2^n conjunctive subqueries —
+	// the decomposition overhead the paper cites against baselines.
+	g := graph.New(0, 0)
+	g.AddNode("a", nil)
+	g.Freeze()
+	q := core.NewQuery()
+	root := q.AddRoot("a", core.Label("a"))
+	n := 5
+	for i := 0; i < n; i++ {
+		p1 := q.AddNode("p", core.Predicate, root, core.AD, core.Label("b"))
+		p2 := q.AddNode("p", core.Predicate, root, core.AD, core.Label("c"))
+		f := logic.Or(logic.Var(p1), logic.Var(p2))
+		if old := q.Nodes[root].Struct; old != nil {
+			f = logic.And(old, f)
+		}
+		q.SetStruct(root, f)
+	}
+	q.SetOutput(root)
+	tc := reach.NewTC(g)
+	w := New(g, plusAdapter{hgjoin.New(g)}, tc)
+	w.Eval(q)
+	if w.Subqueries < 1<<n {
+		t.Errorf("expected at least %d subqueries, got %d", 1<<n, w.Subqueries)
+	}
+}

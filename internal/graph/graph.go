@@ -1,0 +1,282 @@
+// Package graph provides the directed, attributed data-graph model used
+// throughout the repository, plus the structural utilities (SCC
+// condensation, topological order) every reachability index builds on.
+//
+// A data graph in the paper is G = (V, E, f) with f assigning attribute
+// tuples to nodes. Nodes here carry a primary string label (the common
+// case in the evaluation: XMark tags / group labels, arXiv labels) and an
+// optional attribute map for richer predicates.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense, starting at 0.
+type NodeID int32
+
+// Value is an attribute value: either a string or a number.
+type Value struct {
+	IsNum bool
+	Str   string
+	Num   float64
+}
+
+// StrV wraps a string attribute value.
+func StrV(s string) Value { return Value{Str: s} }
+
+// NumV wraps a numeric attribute value.
+func NumV(n float64) Value { return Value{IsNum: true, Num: n} }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	if v.IsNum {
+		return fmt.Sprintf("%g", v.Num)
+	}
+	return v.Str
+}
+
+// Compare returns -1, 0, or +1 comparing v to w. Strings compare
+// lexicographically; numbers numerically; a number compares to a string
+// through its rendering (mixed comparisons are rare and only need a
+// deterministic order).
+func (v Value) Compare(w Value) int {
+	if v.IsNum && w.IsNum {
+		switch {
+		case v.Num < w.Num:
+			return -1
+		case v.Num > w.Num:
+			return 1
+		}
+		return 0
+	}
+	a, b := v.String(), w.String()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Attrs is the attribute tuple of a node (the paper's f(v)). The primary
+// label lives separately in Graph for speed; Attrs covers additional
+// attributes such as year or value.
+type Attrs map[string]Value
+
+// EdgeKind distinguishes document-internal (tree) edges from ID/IDREF
+// cross edges in XML-derived graphs. Engines that decompose queries at
+// cross edges (TwigStack et al.) need the distinction; graph-native
+// engines ignore it.
+type EdgeKind uint8
+
+const (
+	// TreeEdge is a parent-child edge of the underlying document forest.
+	TreeEdge EdgeKind = iota
+	// CrossEdge is an ID/IDREF (or generally non-tree) edge.
+	CrossEdge
+)
+
+// Graph is a directed graph with attributed nodes. Construction is
+// append-only: add nodes, then edges, then Freeze (or let an index
+// freeze it). Freeze sorts adjacency and builds the label index.
+type Graph struct {
+	labels []string
+	attrs  []Attrs // nil entries for label-only nodes
+	out    [][]NodeID
+	in     [][]NodeID
+	kinds  []map[NodeID]EdgeKind // sparse cross-edge marking per source
+
+	frozen     bool
+	labelIndex map[string][]NodeID
+	numEdges   int
+}
+
+// New returns an empty graph with capacity hints.
+func New(nodeHint, edgeHint int) *Graph {
+	return &Graph{
+		labels: make([]string, 0, nodeHint),
+		attrs:  make([]Attrs, 0, nodeHint),
+		out:    make([][]NodeID, 0, nodeHint),
+		in:     make([][]NodeID, 0, nodeHint),
+		kinds:  make([]map[NodeID]EdgeKind, 0, nodeHint),
+	}
+}
+
+// AddNode appends a node with the given label and optional attributes
+// and returns its id.
+func (g *Graph) AddNode(label string, attrs Attrs) NodeID {
+	if g.frozen {
+		panic("graph: AddNode after Freeze")
+	}
+	id := NodeID(len(g.labels))
+	g.labels = append(g.labels, label)
+	g.attrs = append(g.attrs, attrs)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.kinds = append(g.kinds, nil)
+	return id
+}
+
+// AddEdge adds a directed tree edge u -> v.
+func (g *Graph) AddEdge(u, v NodeID) { g.addEdge(u, v, TreeEdge) }
+
+// AddCrossEdge adds a directed cross (ID/IDREF) edge u -> v.
+func (g *Graph) AddCrossEdge(u, v NodeID) { g.addEdge(u, v, CrossEdge) }
+
+func (g *Graph) addEdge(u, v NodeID, k EdgeKind) {
+	if g.frozen {
+		panic("graph: AddEdge after Freeze")
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	if k == CrossEdge {
+		if g.kinds[u] == nil {
+			g.kinds[u] = make(map[NodeID]EdgeKind)
+		}
+		g.kinds[u][v] = CrossEdge
+	}
+	g.numEdges++
+}
+
+// Freeze finalizes the graph: adjacency lists are sorted and the label
+// index built. Freeze is idempotent.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	g.frozen = true
+	for i := range g.out {
+		sortNodeIDs(g.out[i])
+		sortNodeIDs(g.in[i])
+	}
+	g.labelIndex = make(map[string][]NodeID)
+	for i, l := range g.labels {
+		g.labelIndex[l] = append(g.labelIndex[l], NodeID(i))
+	}
+}
+
+func sortNodeIDs(xs []NodeID) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.labels) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.numEdges }
+
+// Label returns the primary label of v.
+func (g *Graph) Label(v NodeID) string { return g.labels[v] }
+
+// Attr returns the named attribute of v. Explicit attributes take
+// precedence; the primary label is exposed as attribute "label" (and as
+// "tag" when no explicit tag attribute exists).
+func (g *Graph) Attr(v NodeID, name string) (Value, bool) {
+	if a := g.attrs[v]; a != nil {
+		if val, ok := a[name]; ok {
+			return val, ok
+		}
+	}
+	if name == "label" || name == "tag" {
+		return StrV(g.labels[v]), true
+	}
+	return Value{}, false
+}
+
+// AttrKeys returns the names of v's explicit attributes (unsorted).
+func (g *Graph) AttrKeys(v NodeID) []string {
+	a := g.attrs[v]
+	if len(a) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Out returns the out-neighbors of v; callers must not modify it.
+func (g *Graph) Out(v NodeID) []NodeID { return g.out[v] }
+
+// In returns the in-neighbors of v; callers must not modify it.
+func (g *Graph) In(v NodeID) []NodeID { return g.in[v] }
+
+// EdgeKindOf reports whether u -> v is a tree or cross edge. It reports
+// TreeEdge for non-existent edges; use HasEdge to test existence.
+func (g *Graph) EdgeKindOf(u, v NodeID) EdgeKind {
+	if m := g.kinds[u]; m != nil {
+		if k, ok := m[v]; ok {
+			return k
+		}
+	}
+	return TreeEdge
+}
+
+// HasEdge reports whether the edge u -> v exists. The graph must be
+// frozen (adjacency sorted).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	g.mustBeFrozen()
+	xs := g.out[u]
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	return i < len(xs) && xs[i] == v
+}
+
+// ByLabel returns the ids of all nodes carrying label, in id order. The
+// graph must be frozen. Callers must not modify the slice.
+func (g *Graph) ByLabel(label string) []NodeID {
+	g.mustBeFrozen()
+	return g.labelIndex[label]
+}
+
+// Labels returns the distinct labels in the graph, sorted.
+func (g *Graph) Labels() []string {
+	g.mustBeFrozen()
+	out := make([]string, 0, len(g.labelIndex))
+	for l := range g.labelIndex {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Graph) mustBeFrozen() {
+	if !g.frozen {
+		panic("graph: operation requires Freeze")
+	}
+}
+
+// TreeParent returns the unique tree-edge parent of v, or -1. It is
+// meaningful for document forests where each node has at most one
+// incoming tree edge.
+func (g *Graph) TreeParent(v NodeID) NodeID {
+	for _, u := range g.in[v] {
+		if g.EdgeKindOf(u, v) == TreeEdge {
+			return u
+		}
+	}
+	return -1
+}
+
+// TreeChildren appends to dst the tree-edge children of v.
+func (g *Graph) TreeChildren(v NodeID, dst []NodeID) []NodeID {
+	for _, w := range g.out[v] {
+		if g.EdgeKindOf(v, w) == TreeEdge {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+// CrossTargets appends to dst the cross-edge targets of v.
+func (g *Graph) CrossTargets(v NodeID, dst []NodeID) []NodeID {
+	for _, w := range g.out[v] {
+		if g.EdgeKindOf(v, w) == CrossEdge {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}

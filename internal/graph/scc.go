@@ -1,0 +1,155 @@
+package graph
+
+// Tarjan strongly-connected-component condensation, iterative so deep
+// graphs do not overflow the goroutine stack. Every reachability index
+// operates on the condensation DAG; strict-path semantics for cyclic
+// graphs come from the NontrivialSCC test.
+
+// Condensation is the SCC quotient of a Graph.
+type Condensation struct {
+	// Comp maps each original node to its SCC id; SCC ids are a reverse
+	// topological order artifact of Tarjan, so Topo holds a correct
+	// topological order of SCC ids.
+	Comp []int32
+	// Members lists original nodes per SCC.
+	Members [][]NodeID
+	// Out/In are the condensation DAG adjacency lists (deduplicated).
+	Out [][]int32
+	In  [][]int32
+	// SelfLoop marks SCCs whose (single) member has a self edge.
+	SelfLoop []bool
+	// Topo is a topological order of SCC ids (sources first).
+	Topo []int32
+}
+
+// NumSCC returns the number of strongly connected components.
+func (c *Condensation) NumSCC() int { return len(c.Members) }
+
+// Nontrivial reports whether SCC s contains a cycle: more than one
+// member, or a single member with a self-loop. A node strictly reaches
+// itself exactly when its SCC is nontrivial.
+func (c *Condensation) Nontrivial(s int32) bool {
+	return len(c.Members[s]) > 1 || c.SelfLoop[s]
+}
+
+// Condense computes the SCC condensation of g.
+func Condense(g *Graph) *Condensation {
+	n := g.N()
+	c := &Condensation{Comp: make([]int32, n)}
+	for i := range c.Comp {
+		c.Comp[i] = -1
+	}
+
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []NodeID
+	var next int32
+
+	// Iterative Tarjan: frame keeps the node and the position within its
+	// out list.
+	type frame struct {
+		v  NodeID
+		ei int
+	}
+	var frames []frame
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: NodeID(start)})
+		index[start] = next
+		lowlink[start] = next
+		next++
+		stack = append(stack, NodeID(start))
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			advanced := false
+			for f.ei < len(g.out[v]) {
+				w := g.out[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v finished.
+			if lowlink[v] == index[v] {
+				id := int32(len(c.Members))
+				var members []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					c.Comp[w] = id
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				c.Members = append(c.Members, members)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+		}
+	}
+
+	// Condensation edges (dedup with a last-seen stamp) and self loops.
+	k := len(c.Members)
+	c.Out = make([][]int32, k)
+	c.In = make([][]int32, k)
+	c.SelfLoop = make([]bool, k)
+	seen := make([]int32, k)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		sv := c.Comp[v]
+		for _, w := range g.out[v] {
+			sw := c.Comp[w]
+			if sv == sw {
+				if NodeID(v) == w {
+					c.SelfLoop[sv] = true
+				}
+				continue
+			}
+			if seen[sw] == sv {
+				continue
+			}
+			seen[sw] = sv
+			c.Out[sv] = append(c.Out[sv], sw)
+			c.In[sw] = append(c.In[sw], sv)
+		}
+	}
+
+	// Tarjan assigns SCC ids in reverse topological order: if there is an
+	// edge sv -> sw in the condensation, sw was completed first, so
+	// sw < sv. Hence descending id order is a topological order.
+	c.Topo = make([]int32, k)
+	for i := range c.Topo {
+		c.Topo[i] = int32(k - 1 - i)
+	}
+	return c
+}

@@ -1,0 +1,132 @@
+// Package graphio loads and saves data graphs as JSON so cmd/gtpq can
+// query external graphs:
+//
+//	{
+//	  "nodes": [
+//	    {"label": "person", "attrs": {"year": 2005, "name": "alice"}},
+//	    {"label": "paper"}
+//	  ],
+//	  "edges": [[1, 0]],
+//	  "refs":  [[1, 0]]
+//	}
+//
+// Edge pairs are [from, to] node indices; "refs" lists ID/IDREF (cross)
+// edges. Numeric attribute values become numbers, everything else
+// strings.
+package graphio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gtpq/internal/graph"
+)
+
+type jsonNode struct {
+	Label string                 `json:"label"`
+	Attrs map[string]interface{} `json:"attrs,omitempty"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges,omitempty"`
+	Refs  [][2]int   `json:"refs,omitempty"`
+}
+
+// Load reads a JSON graph.
+func Load(r io.Reader) (*graph.Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graphio: %v", err)
+	}
+	g := graph.New(len(jg.Nodes), len(jg.Edges)+len(jg.Refs))
+	for i, n := range jg.Nodes {
+		var attrs graph.Attrs
+		if len(n.Attrs) > 0 {
+			attrs = make(graph.Attrs, len(n.Attrs))
+			for k, v := range n.Attrs {
+				switch x := v.(type) {
+				case float64:
+					attrs[k] = graph.NumV(x)
+				case string:
+					attrs[k] = graph.StrV(x)
+				case bool:
+					attrs[k] = graph.StrV(fmt.Sprintf("%v", x))
+				default:
+					return nil, fmt.Errorf("graphio: node %d attr %q has unsupported type %T", i, k, v)
+				}
+			}
+		}
+		g.AddNode(n.Label, attrs)
+	}
+	check := func(e [2]int) error {
+		if e[0] < 0 || e[0] >= len(jg.Nodes) || e[1] < 0 || e[1] >= len(jg.Nodes) {
+			return fmt.Errorf("graphio: edge %v out of range (%d nodes)", e, len(jg.Nodes))
+		}
+		return nil
+	}
+	for _, e := range jg.Edges {
+		if err := check(e); err != nil {
+			return nil, err
+		}
+		g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	for _, e := range jg.Refs {
+		if err := check(e); err != nil {
+			return nil, err
+		}
+		g.AddCrossEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	g.Freeze()
+	return g, nil
+}
+
+// Save writes g as JSON (stable field order for diff-ability).
+func Save(w io.Writer, g *graph.Graph) error {
+	jg := jsonGraph{Nodes: make([]jsonNode, g.N())}
+	for v := 0; v < g.N(); v++ {
+		nv := graph.NodeID(v)
+		node := jsonNode{Label: g.Label(nv)}
+		if attrs := attrMap(g, nv); len(attrs) > 0 {
+			node.Attrs = attrs
+		}
+		jg.Nodes[v] = node
+		for _, wv := range g.Out(nv) {
+			pair := [2]int{v, int(wv)}
+			if g.EdgeKindOf(nv, wv) == graph.CrossEdge {
+				jg.Refs = append(jg.Refs, pair)
+			} else {
+				jg.Edges = append(jg.Edges, pair)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jg)
+}
+
+// attrMap extracts the explicit attributes of v. The graph package does
+// not expose the attribute map directly, so probe the known keys via a
+// snapshot: Save is used for small exports, not hot paths.
+func attrMap(g *graph.Graph, v graph.NodeID) map[string]interface{} {
+	keys := g.AttrKeys(v)
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	out := make(map[string]interface{}, len(keys))
+	for _, k := range keys {
+		val, ok := g.Attr(v, k)
+		if !ok {
+			continue
+		}
+		if val.IsNum {
+			out[k] = val.Num
+		} else {
+			out[k] = val.Str
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gtpq/internal/graph"
+)
+
+const sample = `{
+  "nodes": [
+    {"label": "a", "attrs": {"year": 2005, "name": "alice"}},
+    {"label": "b"},
+    {"label": "c"}
+  ],
+  "edges": [[0, 1]],
+  "refs": [[1, 2]]
+}`
+
+func TestLoad(t *testing.T) {
+	g, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Label(0) != "a" {
+		t.Errorf("label = %q", g.Label(0))
+	}
+	if v, ok := g.Attr(0, "year"); !ok || !v.IsNum || v.Num != 2005 {
+		t.Errorf("year attr = %v %v", v, ok)
+	}
+	if v, ok := g.Attr(0, "name"); !ok || v.Str != "alice" {
+		t.Errorf("name attr = %v %v", v, ok)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("edges missing")
+	}
+	if g.EdgeKindOf(1, 2) != graph.CrossEdge {
+		t.Error("ref edge not marked cross")
+	}
+	if g.EdgeKindOf(0, 1) != graph.TreeEdge {
+		t.Error("tree edge misclassified")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	bad := []string{
+		`{"nodes": [], "edges": [[0,1]]}`, // out of range
+		`{"nodes": [{"label":"a"}], "refs": [[0,5]]}`,
+		`not json`,
+		`{"nodes": [{"label":"a","attrs":{"x":[1,2]}}]}`, // bad attr type
+	}
+	for _, s := range bad {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Errorf("Load(%q) should fail", s)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g1, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("reload: %v\n%s", err, buf.String())
+	}
+	if g2.N() != g1.N() || g2.M() != g1.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g1.N(), g1.M(), g2.N(), g2.M())
+	}
+	for v := 0; v < g1.N(); v++ {
+		if g1.Label(graph.NodeID(v)) != g2.Label(graph.NodeID(v)) {
+			t.Fatalf("label of %d changed", v)
+		}
+	}
+	if g2.EdgeKindOf(1, 2) != graph.CrossEdge {
+		t.Error("ref lost in round trip")
+	}
+	if v, ok := g2.Attr(0, "year"); !ok || v.Num != 2005 {
+		t.Error("attr lost in round trip")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := Load(strings.NewReader(`{"nodes": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 {
+		t.Errorf("N = %d", g.N())
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package gtea implements the paper's GTPQ evaluation algorithm (§4):
+// two-round pruning of candidate matching nodes over a 3-hop
+// reachability index with merged contours (PruneDownward, Procedure 6;
+// PruneUpward, Procedure 7), reduction to the shrunk prime subtree, a
+// compact maximal matching graph for intermediate results, and result
+// enumeration (CollectResults, Procedure 5). PC edges are handled per
+// §4.4 with exact adjacency valuations.
+package gtea
+
+import (
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+// Stats reports the work a single evaluation performed, matching the
+// paper's I/O-cost metrics (Fig 10).
+type Stats struct {
+	// Input counts data-node accesses (candidate scans plus pruning and
+	// matching-graph passes).
+	Input int64
+	// Index counts index elements looked up (3-hop list entries).
+	Index int64
+	// Intermediate is twice the node+edge count of the maximal matching
+	// graph — the paper's measure of intermediate-result size.
+	Intermediate int64
+	// Results is the number of result tuples.
+	Results int64
+	// PruneTime covers both pruning rounds; TotalTime the whole
+	// evaluation.
+	PruneTime time.Duration
+	TotalTime time.Duration
+}
+
+// Options tune the engine; the zero value is the paper's algorithm.
+// The flags exist for the ablation benchmarks.
+type Options struct {
+	// NoContours disables contour merging: pruning falls back to
+	// pairwise 3-hop reachability probes per (candidate, child-set)
+	// pair.
+	NoContours bool
+	// NoShrink disables the shrunk prime subtree: enumeration walks the
+	// full prime subtree.
+	NoShrink bool
+}
+
+// Engine evaluates GTPQs over one fixed graph; build once, evaluate many
+// queries. Not safe for concurrent use.
+type Engine struct {
+	G    *graph.Graph
+	H    *reach.ThreeHop
+	Opt  Options
+	stat Stats
+}
+
+// New builds a GTEA engine (and its 3-hop index) for g.
+func New(g *graph.Graph) *Engine {
+	g.Freeze()
+	return &Engine{G: g, H: reach.NewThreeHop(g)}
+}
+
+// NewWithIndex wraps an existing 3-hop index (shared across engines).
+func NewWithIndex(g *graph.Graph, h *reach.ThreeHop) *Engine {
+	return &Engine{G: g, H: h}
+}
+
+// Stats returns the counters of the most recent Eval.
+func (e *Engine) Stats() Stats { return e.stat }
+
+// Eval evaluates q and returns its answer. The query must be valid and
+// have at least one output node.
+func (e *Engine) Eval(q *core.Query) *core.Answer {
+	start := time.Now()
+	e.stat = Stats{}
+	base := e.H.Stats().Lookups
+
+	outs := q.Outputs()
+	ans := core.NewAnswer(outs)
+	if len(outs) == 0 {
+		panic("gtea: query has no output nodes")
+	}
+
+	// Initial candidate matching nodes.
+	mat := make([][]graph.NodeID, len(q.Nodes))
+	matSet := make([]map[graph.NodeID]bool, len(q.Nodes))
+	for u := range q.Nodes {
+		// Copy: pruning filters in place, and Candidates may return the
+		// graph's internal label index (also shared between query nodes
+		// with the same predicate).
+		mat[u] = append([]graph.NodeID(nil), core.Candidates(e.G, q.Nodes[u].Attr)...)
+		e.stat.Input += int64(len(mat[u]))
+	}
+
+	pruneStart := time.Now()
+	e.pruneDownward(q, mat, matSet)
+	if len(mat[q.Root]) == 0 {
+		e.stat.PruneTime = time.Since(pruneStart)
+		e.stat.Index = e.H.Stats().Lookups - base
+		e.stat.TotalTime = time.Since(start)
+		ans.Canonicalize()
+		return ans
+	}
+	prime := e.primeSubtree(q, mat, outs)
+	e.pruneUpward(q, prime, mat, matSet)
+	e.stat.PruneTime = time.Since(pruneStart)
+
+	// Shrink and enumerate.
+	comps, singles := e.shrink(q, prime, mat, outs)
+	mg := e.buildMatchingGraph(q, comps, mat, matSet)
+	e.collectAll(q, ans, comps, singles, mg, mat)
+
+	e.stat.Index = e.H.Stats().Lookups - base
+	e.stat.Results = int64(ans.Len())
+	e.stat.TotalTime = time.Since(start)
+	return ans
+}
+
+// FilterOnly runs only the two pruning rounds and returns the surviving
+// candidate sets; used by the Fig 9(d) filtering-time experiment.
+func (e *Engine) FilterOnly(q *core.Query) [][]graph.NodeID {
+	e.stat = Stats{}
+	mat := make([][]graph.NodeID, len(q.Nodes))
+	matSet := make([]map[graph.NodeID]bool, len(q.Nodes))
+	for u := range q.Nodes {
+		mat[u] = append([]graph.NodeID(nil), core.Candidates(e.G, q.Nodes[u].Attr)...)
+		e.stat.Input += int64(len(mat[u]))
+	}
+	e.pruneDownward(q, mat, matSet)
+	if len(mat[q.Root]) > 0 {
+		prime := e.primeSubtree(q, mat, q.Outputs())
+		e.pruneUpward(q, prime, mat, matSet)
+	}
+	return mat
+}

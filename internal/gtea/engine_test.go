@@ -1,0 +1,385 @@
+package gtea
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+	"gtpq/internal/reach"
+)
+
+// randGraph builds a random labeled digraph; acyclic when dag is true.
+func randGraph(r *rand.Rand, n, m int, labels []string, dag bool) *graph.Graph {
+	g := graph.New(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode(labels[r.Intn(len(labels))], nil)
+	}
+	for e := 0; e < m; e++ {
+		if dag {
+			u := r.Intn(n - 1)
+			g.AddEdge(graph.NodeID(u), graph.NodeID(u+1+r.Intn(n-u-1)))
+		} else {
+			g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// randQuery builds a random GTPQ over the label alphabet: a random tree
+// with mixed AD/PC edges, random backbone/predicate kinds, random
+// structural predicates (possibly with ∨ and ¬), and a random non-empty
+// output set.
+func randQuery(r *rand.Rand, size int, labels []string, allowPC, allowLogic bool) *core.Query {
+	q := core.NewQuery()
+	root := q.AddRoot("n0", core.Label(labels[r.Intn(len(labels))]))
+	backbones := []int{root}
+	for i := 1; i < size; i++ {
+		kind := core.Backbone
+		if r.Intn(2) == 0 {
+			kind = core.Predicate
+		}
+		edge := core.AD
+		if allowPC && r.Intn(3) == 0 {
+			edge = core.PC
+		}
+		// Predicate nodes may hang anywhere; backbone only under backbone.
+		var parent int
+		if kind == core.Backbone {
+			parent = backbones[r.Intn(len(backbones))]
+		} else {
+			parent = r.Intn(i) // any earlier node
+		}
+		id := q.AddNode("n", kind, parent, edge, core.Label(labels[r.Intn(len(labels))]))
+		if kind == core.Backbone {
+			backbones = append(backbones, id)
+		}
+	}
+	// Structural predicates over predicate children.
+	for _, n := range q.Nodes {
+		var preds []int
+		for _, c := range n.Children {
+			if q.Nodes[c].Kind == core.Predicate {
+				preds = append(preds, c)
+			}
+		}
+		if len(preds) == 0 {
+			continue
+		}
+		if !allowLogic {
+			vars := make([]*logic.Formula, len(preds))
+			for i, p := range preds {
+				vars[i] = logic.Var(p)
+			}
+			q.SetStruct(n.ID, logic.And(vars...))
+			continue
+		}
+		parts := make([]*logic.Formula, len(preds))
+		for i, p := range preds {
+			v := logic.Var(p)
+			if r.Intn(4) == 0 {
+				v = logic.Not(v)
+			}
+			parts[i] = v
+		}
+		var f *logic.Formula
+		switch r.Intn(3) {
+		case 0:
+			f = logic.And(parts...)
+		case 1:
+			f = logic.Or(parts...)
+		default:
+			if len(parts) > 1 {
+				f = logic.Or(logic.And(parts[:len(parts)/2+1]...), logic.And(parts[len(parts)/2:]...))
+			} else {
+				f = parts[0]
+			}
+		}
+		q.SetStruct(n.ID, f)
+	}
+	// Output set: random non-empty subset of backbone nodes.
+	for _, b := range backbones {
+		if r.Intn(2) == 0 {
+			q.SetOutput(b)
+		}
+	}
+	if len(q.Outputs()) == 0 {
+		q.SetOutput(backbones[r.Intn(len(backbones))])
+	}
+	return q
+}
+
+func compare(t *testing.T, g *graph.Graph, q *core.Query, trial int) {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("trial %d: invalid random query: %v", trial, err)
+	}
+	want := core.EvalNaive(g, reach.NewTC(g), q)
+	got := New(g).Eval(q)
+	if !want.Equal(got) {
+		t.Fatalf("trial %d: mismatch\nquery:\n%s\nwant: %sgot:  %s", trial, q, want, got)
+	}
+}
+
+func TestGTEAMatchesOracleConjunctiveAD(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(r, 5+r.Intn(25), 5+r.Intn(60), labels, true)
+		q := randQuery(r, 2+r.Intn(6), labels, false, false)
+		compare(t, g, q, trial)
+	}
+}
+
+func TestGTEAMatchesOracleWithLogic(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 80; trial++ {
+		g := randGraph(r, 5+r.Intn(25), 5+r.Intn(60), labels, true)
+		q := randQuery(r, 2+r.Intn(7), labels, false, true)
+		compare(t, g, q, trial)
+	}
+}
+
+func TestGTEAMatchesOracleWithPC(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 80; trial++ {
+		g := randGraph(r, 5+r.Intn(25), 5+r.Intn(60), labels, true)
+		q := randQuery(r, 2+r.Intn(7), labels, true, true)
+		compare(t, g, q, trial)
+	}
+}
+
+func TestGTEAMatchesOracleOnCyclicGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 60; trial++ {
+		g := randGraph(r, 4+r.Intn(20), 4+r.Intn(60), labels, false)
+		q := randQuery(r, 2+r.Intn(6), labels, true, true)
+		compare(t, g, q, trial)
+	}
+}
+
+func TestGTEAAblationsMatchOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 40; trial++ {
+		g := randGraph(r, 5+r.Intn(20), 5+r.Intn(50), labels, true)
+		q := randQuery(r, 2+r.Intn(6), labels, true, true)
+		want := core.EvalNaive(g, reach.NewTC(g), q)
+		for _, opt := range []Options{{NoContours: true}, {NoShrink: true}, {NoContours: true, NoShrink: true}} {
+			e := New(g)
+			e.Opt = opt
+			got := e.Eval(q)
+			if !want.Equal(got) {
+				t.Fatalf("trial %d opts %+v: mismatch\nquery:\n%s\nwant: %sgot:  %s",
+					trial, opt, q, want, got)
+			}
+		}
+	}
+}
+
+func TestGTEADeepChainInheritance(t *testing.T) {
+	// A long path exercises the chain-local valuation inheritance: all
+	// "a" nodes except the last reach the final "b".
+	g := graph.New(0, 0)
+	n := 50
+	for i := 0; i < n; i++ {
+		g.AddNode("a", nil)
+	}
+	b := g.AddNode("b", nil)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g.AddEdge(graph.NodeID(n-1), b)
+	g.Freeze()
+
+	q := core.NewQuery()
+	r := q.AddRoot("a", core.Label("a"))
+	p := q.AddNode("b", core.Predicate, r, core.AD, core.Label("b"))
+	q.SetStruct(r, logic.Var(p))
+	q.SetOutput(r)
+	ans := New(g).Eval(q)
+	if ans.Len() != n {
+		t.Fatalf("got %d results, want %d", ans.Len(), n)
+	}
+}
+
+func TestGTEANegationOnChain(t *testing.T) {
+	// Negated predicate down a chain: only the tail node lacks a "b"
+	// descendant.
+	g := graph.New(0, 0)
+	a1 := g.AddNode("a", nil)
+	a2 := g.AddNode("a", nil)
+	a3 := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a1, a2)
+	g.AddEdge(a2, a3)
+	g.AddEdge(a2, b)
+	g.Freeze()
+
+	q := core.NewQuery()
+	r := q.AddRoot("a", core.Label("a"))
+	p := q.AddNode("b", core.Predicate, r, core.AD, core.Label("b"))
+	q.SetStruct(r, logic.Not(logic.Var(p)))
+	q.SetOutput(r)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != a3 {
+		t.Fatalf("answer = %s, want just a3", ans)
+	}
+	_ = a1
+}
+
+func TestGTEASingletonSeparator(t *testing.T) {
+	// Root has one candidate; two output children with several candidates
+	// each — the shrunk prime subtree splits into two components whose
+	// results combine by Cartesian product.
+	g := graph.New(0, 0)
+	root := g.AddNode("r", nil)
+	var bs, cs []graph.NodeID
+	for i := 0; i < 3; i++ {
+		b := g.AddNode("b", nil)
+		g.AddEdge(root, b)
+		bs = append(bs, b)
+	}
+	for i := 0; i < 2; i++ {
+		c := g.AddNode("c", nil)
+		g.AddEdge(root, c)
+		cs = append(cs, c)
+	}
+	g.Freeze()
+
+	q := core.NewQuery()
+	r := q.AddRoot("r", core.Label("r"))
+	b := q.AddNode("b", core.Backbone, r, core.AD, core.Label("b"))
+	c := q.AddNode("c", core.Backbone, r, core.AD, core.Label("c"))
+	q.SetOutput(b)
+	q.SetOutput(c)
+	ans := New(g).Eval(q)
+	if ans.Len() != len(bs)*len(cs) {
+		t.Fatalf("got %d results, want %d", ans.Len(), len(bs)*len(cs))
+	}
+}
+
+func TestGTEAUpwardPruneBelowSingleton(t *testing.T) {
+	// Regression for the Procedure 7 guard: the singleton root separates
+	// the output component, but the output's candidates must still be
+	// upward-pruned against the singleton.
+	g := graph.New(0, 0)
+	r1 := g.AddNode("r", nil)
+	b1 := g.AddNode("b", nil)
+	b2 := g.AddNode("b", nil) // not under r1
+	x := g.AddNode("x", nil)
+	g.AddEdge(r1, b1)
+	g.AddEdge(x, b2)
+	g.Freeze()
+
+	q := core.NewQuery()
+	r := q.AddRoot("r", core.Label("r"))
+	b := q.AddNode("b", core.Backbone, r, core.AD, core.Label("b"))
+	q.SetOutput(b)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != b1 {
+		t.Fatalf("answer = %s, want just b1 (b2 is unreachable from r)", ans)
+	}
+	_ = b2
+}
+
+func TestGTEAStatsPopulated(t *testing.T) {
+	r := rand.New(rand.NewSource(106))
+	g := randGraph(r, 30, 60, []string{"a", "b", "c"}, true)
+	q := randQuery(r, 4, []string{"a", "b", "c"}, false, false)
+	e := New(g)
+	e.Eval(q)
+	s := e.Stats()
+	if s.Input == 0 {
+		t.Error("Input counter not populated")
+	}
+	if s.TotalTime == 0 {
+		t.Error("TotalTime not populated")
+	}
+}
+
+func TestGTEAFilterOnlyMatchesDownwardSets(t *testing.T) {
+	// FilterOnly's surviving candidates must be exactly the nodes
+	// participating in matches (pruning is exact for tree queries).
+	r := rand.New(rand.NewSource(107))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 30; trial++ {
+		g := randGraph(r, 5+r.Intn(20), 5+r.Intn(50), labels, true)
+		q := randQuery(r, 2+r.Intn(5), labels, false, false)
+		// All-output variant so every backbone node is checkable.
+		for _, n := range q.Nodes {
+			if n.Kind == core.Backbone {
+				q.SetOutput(n.ID)
+			}
+		}
+		e := New(g)
+		mat := e.FilterOnly(q)
+		want := core.EvalNaive(g, reach.NewTC(g), q)
+		participants := make(map[int]map[graph.NodeID]bool)
+		for i, u := range want.Out {
+			participants[u] = map[graph.NodeID]bool{}
+			for _, tp := range want.Tuples {
+				participants[u][tp[i]] = true
+			}
+		}
+		if len(want.Tuples) == 0 {
+			continue
+		}
+		for _, u := range want.Out {
+			got := map[graph.NodeID]bool{}
+			for _, v := range mat[u] {
+				got[v] = true
+			}
+			for v := range participants[u] {
+				if !got[v] {
+					t.Fatalf("trial %d: node %d missing from filtered mat(%d)", trial, v, u)
+				}
+			}
+			for v := range got {
+				if !participants[u][v] {
+					t.Fatalf("trial %d: node %d in filtered mat(%d) but in no match", trial, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestGTEAEmptyGraph(t *testing.T) {
+	g := graph.New(0, 0)
+	g.Freeze()
+	q := core.NewQuery()
+	r := q.AddRoot("a", core.Label("a"))
+	q.SetOutput(r)
+	ans := New(g).Eval(q)
+	if ans.Len() != 0 {
+		t.Fatal("empty graph should yield empty answer")
+	}
+}
+
+func TestGTEAGroupLikeCollect(t *testing.T) {
+	// Non-output internal node with multiple candidates: duplicates from
+	// different roots must collapse (Example 12's discussion).
+	g := graph.New(0, 0)
+	a1 := g.AddNode("a", nil)
+	a2 := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a1, a2)
+	g.AddEdge(a2, b)
+	g.Freeze()
+
+	q := core.NewQuery()
+	r := q.AddRoot("a", core.Label("a"))
+	bb := q.AddNode("b", core.Backbone, r, core.AD, core.Label("b"))
+	q.SetOutput(bb)
+	ans := New(g).Eval(q)
+	// Both a1 and a2 reach b, but the answer projects on b only: one row.
+	if ans.Len() != 1 || ans.Tuples[0][0] != b {
+		t.Fatalf("answer = %s, want one row (b)", ans)
+	}
+	_ = a1
+}

@@ -1,0 +1,111 @@
+package gtea
+
+import (
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+)
+
+func TestEvalGrouped(t *testing.T) {
+	// Two auctions, each with several bidders.
+	g := graph.New(0, 0)
+	a1 := g.AddNode("auction", nil)
+	a2 := g.AddNode("auction", nil)
+	b1 := g.AddNode("bidder", nil)
+	b2 := g.AddNode("bidder", nil)
+	b3 := g.AddNode("bidder", nil)
+	g.AddEdge(a1, b1)
+	g.AddEdge(a1, b2)
+	g.AddEdge(a2, b3)
+	g.Freeze()
+
+	q := core.NewQuery()
+	qa := q.AddRoot("auction", core.Label("auction"))
+	qb := q.AddNode("bidder", core.Backbone, qa, core.PC, core.Label("bidder"))
+	q.SetOutput(qa)
+	q.SetOutput(qb)
+
+	ga := New(g).EvalGrouped(q, qa)
+	if len(ga.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(ga.Groups))
+	}
+	if len(ga.KeyOut) != 1 || ga.KeyOut[0] != qa {
+		t.Errorf("KeyOut = %v", ga.KeyOut)
+	}
+	if len(ga.MemberOut) != 1 || ga.MemberOut[0] != qb {
+		t.Errorf("MemberOut = %v", ga.MemberOut)
+	}
+	if ga.Groups[0].Key[0] != a1 || len(ga.Groups[0].Members) != 2 {
+		t.Errorf("group a1 = %+v", ga.Groups[0])
+	}
+	if ga.Groups[1].Key[0] != a2 || len(ga.Groups[1].Members) != 1 {
+		t.Errorf("group a2 = %+v", ga.Groups[1])
+	}
+	if ga.Groups[1].Members[0][0] != b3 {
+		t.Errorf("a2 member = %v", ga.Groups[1].Members)
+	}
+}
+
+func TestEvalGroupedEquivalentToFlat(t *testing.T) {
+	// Flattening the groups must reproduce Eval exactly.
+	g := graph.New(0, 0)
+	r := g.AddNode("r", nil)
+	for i := 0; i < 3; i++ {
+		a := g.AddNode("a", nil)
+		g.AddEdge(r, a)
+		for j := 0; j <= i; j++ {
+			b := g.AddNode("b", nil)
+			g.AddEdge(a, b)
+		}
+	}
+	g.Freeze()
+
+	q := core.NewQuery()
+	qr := q.AddRoot("r", core.Label("r"))
+	qa := q.AddNode("a", core.Backbone, qr, core.AD, core.Label("a"))
+	qb := q.AddNode("b", core.Backbone, qa, core.AD, core.Label("b"))
+	q.SetOutput(qa)
+	q.SetOutput(qb)
+
+	e := New(g)
+	flat := e.Eval(q)
+	grouped := e.EvalGrouped(q, qa)
+	total := 0
+	for _, gr := range grouped.Groups {
+		total += len(gr.Members)
+	}
+	if total != flat.Len() {
+		t.Fatalf("grouped total %d != flat %d", total, flat.Len())
+	}
+	// Rebuild flat rows from the groups.
+	rebuilt := core.NewAnswer(q.Outputs())
+	for _, gr := range grouped.Groups {
+		for _, m := range gr.Members {
+			row := make([]graph.NodeID, 2) // outputs: qa < qb
+			row[0] = gr.Key[0]
+			row[1] = m[0]
+			rebuilt.Add(row)
+		}
+	}
+	rebuilt.Canonicalize()
+	if !rebuilt.Equal(flat) {
+		t.Fatalf("flattened groups differ:\n%s\nvs\n%s", rebuilt, flat)
+	}
+}
+
+func TestEvalGroupedPanicsOnNonOutput(t *testing.T) {
+	g := graph.New(0, 0)
+	g.AddNode("a", nil)
+	g.Freeze()
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qb := q.AddNode("b", core.Backbone, qa, core.AD, core.Label("b"))
+	q.SetOutput(qa)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-output group node")
+		}
+	}()
+	New(g).EvalGrouped(q, qb)
+}

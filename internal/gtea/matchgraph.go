@@ -1,0 +1,310 @@
+package gtea
+
+import (
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+// component is one tree of the shrunk prime subtree forest. Removing the
+// ancestors of the output LCA and every node with a single candidate can
+// disconnect the prime subtree; the pieces are independent because a
+// singleton separator is fixed in every match, so per-component results
+// combine by Cartesian product (§4.3).
+type component struct {
+	root  int
+	nodes []int // preorder within the component
+}
+
+// shrink computes the shrunk prime subtree: the components of the prime
+// subtree after removing proper ancestors of the output LCA and every
+// node with |mat| = 1, plus the fixed images of the singleton output
+// nodes (appended to every tuple).
+func (e *Engine) shrink(q *core.Query, prime map[int]bool, mat [][]graph.NodeID, outs []int) ([]component, map[int]graph.NodeID) {
+	singles := make(map[int]graph.NodeID)
+	kept := make(map[int]bool)
+	if e.Opt.NoShrink {
+		for u := range prime {
+			kept[u] = true
+		}
+	} else {
+		// LCA of all output nodes.
+		lca := outs[0]
+		for _, o := range outs[1:] {
+			lca = q.LCA(lca, o)
+		}
+		for u := range prime {
+			if u != lca && q.IsAncestorOf(u, lca) {
+				continue // strict ancestor of the LCA
+			}
+			if len(mat[u]) == 1 {
+				continue
+			}
+			kept[u] = true
+		}
+		for _, o := range outs {
+			if !kept[o] {
+				// Pruning can only leave singletons here when the answer
+				// is non-empty, in which case the candidate appears in
+				// every tuple.
+				if len(mat[o]) == 1 {
+					singles[o] = mat[o][0]
+				} else {
+					singles[o] = -1 // empty: no results at all
+				}
+			}
+		}
+	}
+	// Components: a kept node roots a component when its query parent is
+	// not kept.
+	var comps []component
+	var build func(u int, c *component)
+	build = func(u int, c *component) {
+		c.nodes = append(c.nodes, u)
+		for _, ch := range q.Nodes[u].Children {
+			if kept[ch] {
+				build(ch, c)
+			}
+		}
+	}
+	for _, u := range q.PreOrder() {
+		if !kept[u] {
+			continue
+		}
+		p := q.Nodes[u].Parent
+		if p != -1 && kept[p] {
+			continue
+		}
+		c := component{root: u}
+		build(u, &c)
+		comps = append(comps, c)
+	}
+	return comps, singles
+}
+
+// matchingGraph is the paper's maximal matching graph restricted to the
+// shrunk prime subtree: candidates grouped by query node, with branch
+// lists per query edge (branches[u][v][i] lists the matches of the i-th
+// kept child of u linked below v).
+type matchingGraph struct {
+	// keptChildren[u] lists u's children inside the same component.
+	keptChildren map[int][]int
+	// branches[u][v] is parallel to keptChildren[u].
+	branches map[int]map[graph.NodeID][][]graph.NodeID
+}
+
+// buildMatchingGraph materializes matches for every query edge of the
+// shrunk prime subtree. AD edges use per-source successor contours (the
+// PruneUpward technique with a single-node set); PC edges check
+// adjacency directly. Nodes left without support on some edge simply end
+// up with empty branch lists and contribute no results.
+func (e *Engine) buildMatchingGraph(q *core.Query, comps []component, mat [][]graph.NodeID, matSet []map[graph.NodeID]bool) *matchingGraph {
+	mg := &matchingGraph{
+		keptChildren: make(map[int][]int),
+		branches:     make(map[int]map[graph.NodeID][][]graph.NodeID),
+	}
+	var nodes, edges int64
+	for _, comp := range comps {
+		inComp := make(map[int]bool, len(comp.nodes))
+		for _, u := range comp.nodes {
+			inComp[u] = true
+		}
+		for _, u := range comp.nodes {
+			var kids []int
+			for _, c := range q.Nodes[u].Children {
+				if inComp[c] {
+					kids = append(kids, c)
+				}
+			}
+			mg.keptChildren[u] = kids
+			perV := make(map[graph.NodeID][][]graph.NodeID, len(mat[u]))
+			mg.branches[u] = perV
+			nodes += int64(len(mat[u]))
+			if len(kids) == 0 {
+				continue
+			}
+			hasAD := false
+			for _, c := range kids {
+				if q.Nodes[c].PEdge != core.PC {
+					hasAD = true
+				}
+			}
+			for _, v := range mat[u] {
+				e.stat.Input++
+				lists := make([][]graph.NodeID, len(kids))
+				var cs *reach.Contour
+				if hasAD {
+					// One successor-list merge per source node serves all
+					// AD children (the PruneUpward technique of §4.3).
+					cs = e.H.MergeSuccLists([]graph.NodeID{v})
+				}
+				for i, c := range kids {
+					if q.Nodes[c].PEdge == core.PC {
+						for _, w := range e.G.Out(v) {
+							if matSet[c][w] {
+								lists[i] = append(lists[i], w)
+							}
+						}
+					} else {
+						for _, w := range mat[c] {
+							if e.H.ContourReaches(cs, w) {
+								lists[i] = append(lists[i], w)
+							}
+						}
+					}
+					edges += int64(len(lists[i]))
+				}
+				perV[v] = lists
+			}
+		}
+	}
+	e.stat.Intermediate = 2 * (nodes + edges)
+	return mg
+}
+
+// collectAll enumerates the final answer: per-component results from
+// CollectResults, combined across components by Cartesian product, with
+// the fixed singleton outputs appended.
+func (e *Engine) collectAll(q *core.Query, ans *core.Answer, comps []component, singles map[int]graph.NodeID, mg *matchingGraph, mat [][]graph.NodeID) {
+	outPos := make(map[int]int, len(ans.Out))
+	for i, u := range ans.Out {
+		outPos[u] = i
+	}
+	for _, v := range singles {
+		if v == -1 {
+			ans.Canonicalize()
+			return // some output has no candidate: empty answer
+		}
+	}
+
+	// outsUnder[u]: output nodes inside u's component subtree, preorder.
+	outsUnder := make(map[int][]int)
+	var order func(u int) []int
+	order = func(u int) []int {
+		if got, ok := outsUnder[u]; ok {
+			return got
+		}
+		var res []int
+		if q.Nodes[u].Output {
+			res = append(res, u)
+		}
+		for _, c := range mg.keptChildren[u] {
+			res = append(res, order(c)...)
+		}
+		outsUnder[u] = res
+		return res
+	}
+
+	type memoKey struct {
+		u int
+		v graph.NodeID
+	}
+	memo := make(map[memoKey][][]graph.NodeID)
+	var collect func(u int, v graph.NodeID) [][]graph.NodeID
+	collect = func(u int, v graph.NodeID) [][]graph.NodeID {
+		key := memoKey{u, v}
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		kids := mg.keptChildren[u]
+		results := [][]graph.NodeID{nil}
+		if len(kids) > 0 {
+			lists := mg.branches[u][v]
+			for i := range kids {
+				// Union of the results below each linked child match,
+				// deduplicated before the product (the paper's advance
+				// merging of partial results, line 7 of Procedure 5).
+				var branch [][]graph.NodeID
+				seen := make(map[string]bool)
+				for _, w := range lists[i] {
+					for _, t := range collect(kids[i], w) {
+						k := tupleKey(t)
+						if !seen[k] {
+							seen[k] = true
+							branch = append(branch, t)
+						}
+					}
+				}
+				if len(branch) == 0 {
+					results = nil
+					break
+				}
+				next := make([][]graph.NodeID, 0, len(results)*len(branch))
+				for _, a := range results {
+					for _, b := range branch {
+						merged := make([]graph.NodeID, 0, len(a)+len(b))
+						merged = append(merged, a...)
+						merged = append(merged, b...)
+						next = append(next, merged)
+					}
+				}
+				results = next
+			}
+		}
+		if q.Nodes[u].Output && results != nil {
+			for i, t := range results {
+				results[i] = append([]graph.NodeID{v}, t...)
+			}
+		}
+		memo[key] = results
+		return results
+	}
+
+	// Per-component result sets (deduplicated across root candidates).
+	perComp := make([][][]graph.NodeID, 0, len(comps))
+	compOuts := make([][]int, 0, len(comps))
+	for _, comp := range comps {
+		os := order(comp.root)
+		if len(os) == 0 {
+			// A component with no outputs only constrains existence — and
+			// existence is already guaranteed by pruning; skip it.
+			continue
+		}
+		seen := make(map[string]bool)
+		var all [][]graph.NodeID
+		for _, v := range mat[comp.root] {
+			for _, t := range collect(comp.root, v) {
+				k := tupleKey(t)
+				if !seen[k] {
+					seen[k] = true
+					all = append(all, t)
+				}
+			}
+		}
+		if len(all) == 0 {
+			ans.Canonicalize()
+			return
+		}
+		perComp = append(perComp, all)
+		compOuts = append(compOuts, os)
+	}
+
+	// Cross-component Cartesian product into final tuples.
+	tuple := make([]graph.NodeID, len(ans.Out))
+	for u, v := range singles {
+		tuple[outPos[u]] = v
+	}
+	var emit func(ci int)
+	emit = func(ci int) {
+		if ci == len(perComp) {
+			ans.Add(append([]graph.NodeID(nil), tuple...))
+			return
+		}
+		for _, t := range perComp[ci] {
+			for i, u := range compOuts[ci] {
+				tuple[outPos[u]] = t[i]
+			}
+			emit(ci + 1)
+		}
+	}
+	emit(0)
+	ans.Canonicalize()
+}
+
+func tupleKey(t []graph.NodeID) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

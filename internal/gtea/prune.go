@@ -1,0 +1,262 @@
+package gtea
+
+import (
+	"sort"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+// pruneDownward is Procedure 6: processing query nodes bottom-up, it
+// removes every candidate of u whose induced valuation falsifies
+// fext(u). AD-child valuations are answered holistically against the
+// children's predecessor contours, sharing chain-suffix walks between
+// candidates on the same chain and inheriting positive valuations from
+// larger to smaller chain positions (reachability is monotone along a
+// chain). PC-child valuations are computed exactly from adjacency —
+// §4.4's first strategy, required anyway under negation.
+func (e *Engine) pruneDownward(q *core.Query, mat [][]graph.NodeID, matSet []map[graph.NodeID]bool) {
+	for _, u := range q.PostOrder() {
+		n := q.Nodes[u]
+		if len(n.Children) == 0 {
+			matSet[u] = toSet(mat[u])
+			continue
+		}
+		var adKids, pcKids []int
+		for _, c := range n.Children {
+			if q.Nodes[c].PEdge == core.PC {
+				pcKids = append(pcKids, c)
+			} else {
+				adKids = append(adKids, c)
+			}
+		}
+		// Predecessor contours of the (already pruned) AD children.
+		cps := make(map[int]*reach.Contour, len(adKids))
+		if !e.Opt.NoContours {
+			for _, c := range adKids {
+				cps[c] = e.H.MergePredLists(mat[c])
+			}
+		}
+		fext := q.Fext(u)
+
+		// Group candidates by chain, descending sequence id, so positive
+		// AD valuations can be inherited within a chain.
+		byChain := e.groupByChain(mat[u], false)
+		keep := mat[u][:0]
+		val := make(map[int]bool, len(n.Children))
+		for _, chainNodes := range byChain {
+			for k := range val {
+				delete(val, k)
+			}
+			walker := e.H.NewOutWalker()
+			for _, v := range chainNodes {
+				e.stat.Input++
+				// PC children: exact adjacency, never inherited.
+				for _, c := range pcKids {
+					val[c] = false
+					for _, w := range e.G.Out(v) {
+						if matSet[c][w] {
+							val[c] = true
+							break
+						}
+					}
+				}
+				// AD children: positive values inherited along the chain;
+				// undecided ones re-checked.
+				if e.Opt.NoContours {
+					for _, c := range adKids {
+						if val[c] {
+							continue
+						}
+						for _, w := range mat[c] {
+							if e.H.Reaches(v, w) {
+								val[c] = true
+								break
+							}
+						}
+					}
+				} else {
+					var ambiguous []int
+					pending := 0
+					for _, c := range adKids {
+						if val[c] {
+							continue
+						}
+						hit, amb := e.H.CheckOwn(v, cps[c])
+						if hit {
+							val[c] = true
+							continue
+						}
+						if amb {
+							ambiguous = append(ambiguous, c)
+						}
+						pending++
+					}
+					if pending > 0 {
+						walker.Walk(v, func(cid, sid int32) {
+							for _, c := range adKids {
+								if !val[c] && cps[c].MatchPred(cid, sid) {
+									val[c] = true
+								}
+							}
+						})
+					}
+					for _, c := range ambiguous {
+						if !val[c] && e.H.ResolveAmbiguous(v, cps[c]) {
+							val[c] = true
+						}
+					}
+				}
+				if fext.Eval(func(c int) bool { return val[c] }) {
+					keep = append(keep, v)
+				}
+			}
+		}
+		sortNodes(keep)
+		mat[u] = keep
+		matSet[u] = toSet(keep)
+	}
+}
+
+// pruneUpward is Procedure 7 restricted to the prime subtree: top-down,
+// every candidate of a child must be reachable from (PC: adjacent to)
+// the parent's surviving candidates. Unlike the pseudocode we do not
+// skip parents with a single candidate — the shrunk-subtree
+// decomposition requires children of singletons to be upward-clean too.
+func (e *Engine) pruneUpward(q *core.Query, prime map[int]bool, mat [][]graph.NodeID, matSet []map[graph.NodeID]bool) {
+	for _, u := range q.PreOrder() {
+		if !prime[u] || len(mat[u]) == 0 {
+			continue
+		}
+		var cs *reach.Contour
+		for _, c := range q.Nodes[u].Children {
+			if !prime[c] {
+				continue
+			}
+			if q.Nodes[c].PEdge == core.PC {
+				keep := mat[c][:0]
+				for _, v := range mat[c] {
+					e.stat.Input++
+					for _, w := range e.G.In(v) {
+						if matSet[u][w] {
+							keep = append(keep, v)
+							break
+						}
+					}
+				}
+				mat[c] = keep
+				matSet[c] = toSet(keep)
+				continue
+			}
+			if e.Opt.NoContours {
+				keep := mat[c][:0]
+				for _, v := range mat[c] {
+					e.stat.Input++
+					for _, w := range mat[u] {
+						if e.H.Reaches(w, v) {
+							keep = append(keep, v)
+							break
+						}
+					}
+				}
+				mat[c] = keep
+				matSet[c] = toSet(keep)
+				continue
+			}
+			if cs == nil {
+				cs = e.H.MergeSuccLists(mat[u])
+			}
+			// Ascending order per chain: once one candidate is reached,
+			// all larger ones are too.
+			byChain := e.groupByChain(mat[c], true)
+			keep := mat[c][:0]
+			for _, chainNodes := range byChain {
+				walker := e.H.NewInWalker()
+				reached := false
+				for _, v := range chainNodes {
+					e.stat.Input++
+					if reached {
+						keep = append(keep, v)
+						continue
+					}
+					hit, amb := e.H.CheckOwnSucc(cs, v)
+					got := hit
+					walker.Walk(v, func(cid, sid int32) {
+						if !got && cs.MatchSucc(cid, sid) {
+							got = true
+						}
+					})
+					if !got && amb {
+						got = e.H.ResolveAmbiguousSucc(cs, v)
+					}
+					if got {
+						reached = true
+						keep = append(keep, v)
+					}
+				}
+			}
+			sortNodes(keep)
+			mat[c] = keep
+			matSet[c] = toSet(keep)
+		}
+	}
+}
+
+// primeSubtree returns the node set of the minimum subtree containing
+// the root and every output node with more than one candidate.
+func (e *Engine) primeSubtree(q *core.Query, mat [][]graph.NodeID, outs []int) map[int]bool {
+	prime := map[int]bool{q.Root: true}
+	for _, o := range outs {
+		if len(mat[o]) <= 1 && !e.Opt.NoShrink {
+			continue
+		}
+		for x := o; x != -1; x = q.Nodes[x].Parent {
+			if prime[x] {
+				break
+			}
+			prime[x] = true
+		}
+	}
+	return prime
+}
+
+// groupByChain buckets nodes by their 3-hop chain and sorts each bucket
+// by sequence id (ascending or descending).
+func (e *Engine) groupByChain(nodes []graph.NodeID, ascending bool) map[int32][]graph.NodeID {
+	by := make(map[int32][]graph.NodeID)
+	for _, v := range nodes {
+		cid, _ := e.H.Position(v)
+		by[cid] = append(by[cid], v)
+	}
+	for _, bucket := range by {
+		b := bucket
+		sort.Slice(b, func(i, j int) bool {
+			_, si := e.H.Position(b[i])
+			_, sj := e.H.Position(b[j])
+			if si != sj {
+				if ascending {
+					return si < sj
+				}
+				return si > sj
+			}
+			if ascending {
+				return b[i] < b[j]
+			}
+			return b[i] > b[j]
+		})
+	}
+	return by
+}
+
+func toSet(xs []graph.NodeID) map[graph.NodeID]bool {
+	m := make(map[graph.NodeID]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}
+
+func sortNodes(xs []graph.NodeID) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,184 @@
+package hgjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+func diamond() (*graph.Graph, []graph.NodeID) {
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	b1 := g.AddNode("b", nil)
+	b2 := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(a, b1)
+	g.AddEdge(a, b2)
+	g.AddEdge(b1, c)
+	g.AddEdge(b2, c)
+	g.Freeze()
+	return g, []graph.NodeID{a, b1, b2, c}
+}
+
+func pathQuery() *core.Query {
+	q := core.NewQuery()
+	a := q.AddRoot("a", core.Label("a"))
+	b := q.AddNode("b", core.Backbone, a, core.AD, core.Label("b"))
+	c := q.AddNode("c", core.Backbone, b, core.AD, core.Label("c"))
+	q.SetOutput(a)
+	q.SetOutput(b)
+	q.SetOutput(c)
+	return q
+}
+
+func TestPlusAndStarAgree(t *testing.T) {
+	g, _ := diamond()
+	q := pathQuery()
+	e := New(g)
+	plus := e.EvalPlus(q)
+	star := e.EvalStar(q)
+	if !plus.Equal(star) {
+		t.Fatalf("Plus %svs Star %s", plus, star)
+	}
+	if plus.Len() != 2 { // (a,b1,c) and (a,b2,c)
+		t.Fatalf("answer = %s", plus)
+	}
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	g, ids := diamond()
+	q := core.NewQuery()
+	b := q.AddRoot("b", core.Label("b"))
+	q.SetOutput(b)
+	e := New(g)
+	for _, ans := range []*core.Answer{e.EvalPlus(q), e.EvalStar(q)} {
+		if ans.Len() != 2 || ans.Tuples[0][0] != ids[1] || ans.Tuples[1][0] != ids[2] {
+			t.Fatalf("answer = %s", ans)
+		}
+	}
+}
+
+func TestGreedyPlanIsConnected(t *testing.T) {
+	q := pathQuery()
+	edges := queryEdges(q)
+	mat := [][]graph.NodeID{{0}, {1, 2}, {3}}
+	plan := greedyPlan(q, mat, edges)
+	assertConnected(t, edges, plan)
+}
+
+func TestRandomPlansAreConnected(t *testing.T) {
+	// Bushy query: root with three children, one grandchild.
+	q := core.NewQuery()
+	r := q.AddRoot("r", core.Label("r"))
+	a := q.AddNode("a", core.Backbone, r, core.AD, core.Label("a"))
+	q.AddNode("b", core.Backbone, r, core.AD, core.Label("b"))
+	q.AddNode("c", core.Backbone, r, core.AD, core.Label("c"))
+	q.AddNode("d", core.Backbone, a, core.AD, core.Label("d"))
+	edges := queryEdges(q)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		assertConnected(t, edges, randomPlan(rng, q, edges))
+	}
+}
+
+func assertConnected(t *testing.T, edges []qedge, plan []int) {
+	t.Helper()
+	if len(plan) != len(edges) {
+		t.Fatalf("plan %v misses edges", plan)
+	}
+	seen := map[int]bool{}
+	inTree := map[int]bool{}
+	for i, ei := range plan {
+		if seen[ei] {
+			t.Fatalf("plan %v repeats edge %d", plan, ei)
+		}
+		seen[ei] = true
+		ed := edges[ei]
+		if i > 0 && !inTree[ed.p] && !inTree[ed.c] {
+			t.Fatalf("plan %v disconnected at step %d", plan, i)
+		}
+		inTree[ed.p] = true
+		inTree[ed.c] = true
+	}
+}
+
+func TestStarRecursiveDeletion(t *testing.T) {
+	// b2 reaches no c: the graph representation must delete it and a's
+	// support must survive through b1.
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	b1 := g.AddNode("b", nil)
+	b2 := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(a, b1)
+	g.AddEdge(a, b2)
+	g.AddEdge(b1, c)
+	g.Freeze()
+	q := pathQuery()
+	ans := New(g).EvalStar(q)
+	if ans.Len() != 1 || ans.Tuples[0][1] != b1 {
+		t.Fatalf("answer = %s, want single (a,b1,c)", ans)
+	}
+	_ = b2
+	_ = a
+}
+
+func TestIntermediateCountGrowsWithBadPlan(t *testing.T) {
+	// A low-selectivity first edge inflates tuple intermediates; the
+	// stats must reflect the chosen (best) plan.
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	for i := 0; i < 20; i++ {
+		b := g.AddNode("b", nil)
+		g.AddEdge(a, b)
+		if i == 0 {
+			g.AddEdge(b, g.AddNode("c", nil))
+		}
+	}
+	g.Freeze()
+	e := New(g)
+	q := pathQuery()
+	e.EvalPlus(q)
+	if e.Stats().Intermediate == 0 {
+		t.Error("Intermediate not counted")
+	}
+	if e.Stats().Index == 0 {
+		t.Error("Index lookups not counted")
+	}
+}
+
+func TestAgainstOracleOnRandomDAGs(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 25; trial++ {
+		g := graph.New(0, 0)
+		n := 6 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[r.Intn(len(labels))], nil)
+		}
+		for e := 0; e < n*2; e++ {
+			u := r.Intn(n - 1)
+			g.AddEdge(graph.NodeID(u), graph.NodeID(u+1+r.Intn(n-u-1)))
+		}
+		g.Freeze()
+		q := core.NewQuery()
+		a := q.AddRoot("a", core.Label("a"))
+		b := q.AddNode("b", core.Backbone, a, core.AD, core.Label("b"))
+		q.AddNode("c", core.Backbone, a, core.PC, core.Label("c"))
+		q.AddNode("d", core.Backbone, b, core.AD, core.Label("d"))
+		for _, nd := range q.Nodes {
+			q.SetOutput(nd.ID)
+		}
+		want := core.EvalNaive(g, reach.NewTC(g), q)
+		e := New(g)
+		if got := e.EvalPlus(q); !want.Equal(got) {
+			t.Fatalf("trial %d Plus mismatch", trial)
+		}
+		if got := e.EvalStar(q); !want.Equal(got) {
+			t.Fatalf("trial %d Star mismatch", trial)
+		}
+	}
+}

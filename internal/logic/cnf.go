@@ -1,0 +1,228 @@
+package logic
+
+// Conversion to negation and conjunctive normal forms. The paper's §2
+// comparison with AND/OR-twigs and B-twigs rests on CNF conversion being
+// exponential in the worst case; ToCNF implements the distributive
+// conversion so tests and the B-twig size comparison can observe exactly
+// that blow-up.
+
+// ToNNF pushes negations down to the variables (negation normal form).
+func ToNNF(f *Formula) *Formula { return nnf(f, false) }
+
+func nnf(f *Formula, negated bool) *Formula {
+	switch f.kind {
+	case KindTrue:
+		if negated {
+			return falseF
+		}
+		return trueF
+	case KindFalse:
+		if negated {
+			return trueF
+		}
+		return falseF
+	case KindVar:
+		if negated {
+			return &Formula{kind: KindNot, sub: []*Formula{f}}
+		}
+		return f
+	case KindNot:
+		return nnf(f.sub[0], !negated)
+	case KindAnd, KindOr:
+		k := f.kind
+		if negated { // De Morgan
+			if k == KindAnd {
+				k = KindOr
+			} else {
+				k = KindAnd
+			}
+		}
+		out := make([]*Formula, len(f.sub))
+		for i, s := range f.sub {
+			out[i] = nnf(s, negated)
+		}
+		return nary(k, out)
+	}
+	panic("logic: bad formula kind")
+}
+
+// Literal is a possibly negated variable in a normal form.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// Clause is a set of literals; in a CNF it is a disjunction, in a DNF a
+// conjunction (a "term").
+type Clause []Literal
+
+// ToCNF converts f to conjunctive normal form by distribution. Each inner
+// slice is a disjunctive clause. A tautological formula yields zero
+// clauses; an unsatisfiable one yields one empty clause.
+func ToCNF(f *Formula) []Clause {
+	g := ToNNF(f)
+	cs := cnfClauses(g)
+	return dedupClauses(cs)
+}
+
+func cnfClauses(f *Formula) []Clause {
+	switch f.kind {
+	case KindTrue:
+		return nil
+	case KindFalse:
+		return []Clause{{}}
+	case KindVar:
+		return []Clause{{Literal{Var: f.v}}}
+	case KindNot: // NNF: operand is a variable
+		return []Clause{{Literal{Var: f.sub[0].v, Negated: true}}}
+	case KindAnd:
+		var out []Clause
+		for _, s := range f.sub {
+			out = append(out, cnfClauses(s)...)
+		}
+		return out
+	case KindOr:
+		// Distribute: cross product of the operand clause sets.
+		out := []Clause{{}}
+		for _, s := range f.sub {
+			sc := cnfClauses(s)
+			next := make([]Clause, 0, len(out)*len(sc))
+			for _, a := range out {
+				for _, b := range sc {
+					merged := make(Clause, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+				}
+			}
+			out = next
+		}
+		return out
+	}
+	panic("logic: bad formula kind")
+}
+
+// ToDNF converts f to disjunctive normal form; each clause is a
+// conjunctive term. Tautology yields one empty term; unsatisfiable yields
+// zero terms. Contradictory terms (x ∧ ¬x) are dropped.
+func ToDNF(f *Formula) []Clause {
+	// DNF(f) clauses are the duals of CNF(¬f) clauses.
+	cs := ToCNF(Not(f))
+	out := make([]Clause, 0, len(cs))
+	for _, c := range cs {
+		term := make(Clause, len(c))
+		contradictory := false
+		seen := make(map[int]bool, len(c))
+		for i, lit := range c {
+			term[i] = Literal{Var: lit.Var, Negated: !lit.Negated}
+		}
+		// Drop x ∧ ¬x terms and duplicate literals.
+		compact := term[:0]
+		pol := make(map[int]bool, len(term))
+		for _, lit := range term {
+			if was, ok := pol[lit.Var]; ok {
+				if was != lit.Negated {
+					contradictory = true
+					break
+				}
+				continue
+			}
+			pol[lit.Var] = lit.Negated
+			if !seen[lit.Var] {
+				seen[lit.Var] = true
+				compact = append(compact, lit)
+			}
+		}
+		if !contradictory {
+			out = append(out, compact)
+		}
+	}
+	return out
+}
+
+// FromCNF rebuilds a formula from CNF clauses.
+func FromCNF(cs []Clause) *Formula {
+	conj := make([]*Formula, len(cs))
+	for i, c := range cs {
+		disj := make([]*Formula, len(c))
+		for j, lit := range c {
+			if lit.Negated {
+				disj[j] = Not(Var(lit.Var))
+			} else {
+				disj[j] = Var(lit.Var)
+			}
+		}
+		conj[i] = Or(disj...)
+	}
+	return And(conj...)
+}
+
+// FromDNF rebuilds a formula from DNF terms.
+func FromDNF(ts []Clause) *Formula {
+	disj := make([]*Formula, len(ts))
+	for i, t := range ts {
+		conj := make([]*Formula, len(t))
+		for j, lit := range t {
+			if lit.Negated {
+				conj[j] = Not(Var(lit.Var))
+			} else {
+				conj[j] = Var(lit.Var)
+			}
+		}
+		disj[i] = And(conj...)
+	}
+	return Or(disj...)
+}
+
+func dedupClauses(cs []Clause) []Clause {
+	seen := make(map[string]bool, len(cs))
+	out := cs[:0]
+	for _, c := range cs {
+		key := clauseKey(c)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+func clauseKey(c Clause) string {
+	lits := make([]int, len(c))
+	for i, l := range c {
+		lits[i] = l.Var * 2
+		if l.Negated {
+			lits[i]++
+		}
+	}
+	intSort(lits)
+	b := make([]byte, 0, len(lits)*3)
+	for _, l := range lits {
+		b = appendInt(b, l)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func intSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func appendInt(b []byte, n int) []byte {
+	if n == 0 {
+		return append(b, '0')
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,167 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual formula syntax used throughout the repository:
+//
+//	formula := or
+//	or      := and ('|' and)*
+//	and     := unary ('&' unary)*
+//	unary   := '!' unary | atom
+//	atom    := 'true' | 'false' | ident | '(' formula ')'
+//
+// Identifiers are resolved to variable ids through resolve; resolve may
+// be nil when every identifier has the form v<N> (e.g. "v3").
+func Parse(s string, resolve func(name string) (int, error)) (*Formula, error) {
+	p := &parser{in: s, resolve: resolve}
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("logic: trailing input at offset %d in %q", p.pos, s)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// compile-time-constant query definitions.
+func MustParse(s string, resolve func(name string) (int, error)) *Formula {
+	f, err := Parse(s, resolve)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	in      string
+	pos     int
+	resolve func(string) (int, error)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.in) {
+		return p.in[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseOr() (*Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Formula{f}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		g, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, g)
+	}
+	return Or(parts...), nil
+}
+
+func (p *parser) parseAnd() (*Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []*Formula{f}
+	for {
+		p.skipSpace()
+		if p.peek() != '&' {
+			break
+		}
+		p.pos++
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, g)
+	}
+	return And(parts...), nil
+}
+
+func (p *parser) parseUnary() (*Formula, error) {
+	p.skipSpace()
+	if p.peek() == '!' {
+		p.pos++
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*Formula, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		f, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("logic: missing ')' at offset %d in %q", p.pos, p.in)
+		}
+		p.pos++
+		return f, nil
+	case p.pos >= len(p.in):
+		return nil, fmt.Errorf("logic: unexpected end of formula %q", p.in)
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isIdentByte(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("logic: unexpected %q at offset %d in %q", p.in[p.pos], p.pos, p.in)
+	}
+	name := p.in[start:p.pos]
+	switch name {
+	case "true", "1":
+		return True(), nil
+	case "false", "0":
+		return False(), nil
+	}
+	if p.resolve != nil {
+		v, err := p.resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		return Var(v), nil
+	}
+	if strings.HasPrefix(name, "v") {
+		if n, err := strconv.Atoi(name[1:]); err == nil && n >= 0 {
+			return Var(n), nil
+		}
+	}
+	return nil, fmt.Errorf("logic: cannot resolve identifier %q", name)
+}
+
+func isIdentByte(b byte) bool {
+	r := rune(b)
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || b == '_' || b == '.'
+}

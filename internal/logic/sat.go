@@ -1,0 +1,237 @@
+package logic
+
+// Satisfiability and tautology checking. Structural predicates in GTPQs
+// are tiny (a handful of variables), so the primary solver is exhaustive
+// enumeration over the occurring variables; formulas with more variables
+// go through Tseitin encoding and a DPLL solver with unit propagation.
+
+// bruteLimit is the largest variable count handled by enumeration.
+const bruteLimit = 20
+
+// SAT reports whether f is satisfiable and, when it is, returns a
+// satisfying assignment over f's variables.
+func SAT(f *Formula) (bool, map[int]bool) {
+	switch f.kind {
+	case KindTrue:
+		return true, map[int]bool{}
+	case KindFalse:
+		return false, nil
+	}
+	vars := f.Vars()
+	if len(vars) <= bruteLimit {
+		return bruteSAT(f, vars)
+	}
+	return dpllSAT(f)
+}
+
+// Satisfiable reports whether f is satisfiable.
+func Satisfiable(f *Formula) bool {
+	ok, _ := SAT(f)
+	return ok
+}
+
+// Tautology reports whether f holds under every assignment.
+func Tautology(f *Formula) bool { return !Satisfiable(Not(f)) }
+
+// Equivalent reports whether f and g agree under every assignment.
+func Equivalent(f, g *Formula) bool {
+	return Tautology(And(Implies(f, g), Implies(g, f)))
+}
+
+// Implied reports whether f -> g is a tautology.
+func Implied(f, g *Formula) bool { return Tautology(Implies(f, g)) }
+
+func bruteSAT(f *Formula, vars []int) (bool, map[int]bool) {
+	n := len(vars)
+	idx := make(map[int]int, n)
+	for i, v := range vars {
+		idx[v] = i
+	}
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		ok := f.Eval(func(v int) bool {
+			return bits&(1<<uint(idx[v])) != 0
+		})
+		if ok {
+			m := make(map[int]bool, n)
+			for i, v := range vars {
+				m[v] = bits&(1<<uint(i)) != 0
+			}
+			return true, m
+		}
+	}
+	return false, nil
+}
+
+// ---- Tseitin + DPLL for larger formulas ----
+
+// literal encoding: positive literal = 2*v, negative = 2*v+1.
+type clause []int
+
+type cnfBuilder struct {
+	next    int // next fresh variable id
+	clauses []clause
+}
+
+func neg(lit int) int { return lit ^ 1 }
+
+func (b *cnfBuilder) fresh() int {
+	v := b.next
+	b.next++
+	return v
+}
+
+func (b *cnfBuilder) add(c ...int) { b.clauses = append(b.clauses, clause(c)) }
+
+// tseitin returns a literal equisatisfiably representing f.
+func (b *cnfBuilder) tseitin(f *Formula) int {
+	switch f.kind {
+	case KindTrue:
+		v := b.fresh()
+		b.add(2 * v)
+		return 2 * v
+	case KindFalse:
+		v := b.fresh()
+		b.add(2 * v)
+		return 2*v + 1
+	case KindVar:
+		return 2 * f.v
+	case KindNot:
+		return neg(b.tseitin(f.sub[0]))
+	case KindAnd, KindOr:
+		lits := make([]int, len(f.sub))
+		for i, s := range f.sub {
+			lits[i] = b.tseitin(s)
+		}
+		out := 2 * b.fresh()
+		if f.kind == KindAnd {
+			// out -> each lit ; (all lits) -> out
+			long := make(clause, 0, len(lits)+1)
+			for _, l := range lits {
+				b.add(neg(out), l)
+				long = append(long, neg(l))
+			}
+			long = append(long, out)
+			b.add(long...)
+		} else {
+			// lit -> out ; out -> (some lit)
+			long := make(clause, 0, len(lits)+1)
+			for _, l := range lits {
+				b.add(neg(l), out)
+				long = append(long, l)
+			}
+			long = append(long, neg(out))
+			b.add(long...)
+		}
+		return out
+	}
+	panic("logic: bad formula kind")
+}
+
+func dpllSAT(f *Formula) (bool, map[int]bool) {
+	maxVar := -1
+	for _, v := range f.Vars() {
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	b := &cnfBuilder{next: maxVar + 1}
+	root := b.tseitin(f)
+	b.add(root)
+
+	assign := make([]int8, b.next) // 0 unknown, 1 true, -1 false
+	if !dpll(b.clauses, assign) {
+		return false, nil
+	}
+	m := make(map[int]bool)
+	for _, v := range f.Vars() {
+		m[v] = assign[v] == 1
+	}
+	return true, m
+}
+
+// dpll is a simple recursive DPLL with unit propagation.
+func dpll(clauses []clause, assign []int8) bool {
+	// Unit propagation loop.
+	for {
+		unitFound := false
+		for _, c := range clauses {
+			unassigned := -1
+			nUnassigned := 0
+			sat := false
+			for _, lit := range c {
+				v, want := lit>>1, int8(1)
+				if lit&1 == 1 {
+					want = -1
+				}
+				switch assign[v] {
+				case 0:
+					nUnassigned++
+					unassigned = lit
+				case want:
+					sat = true
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if nUnassigned == 0 {
+				return false // conflict
+			}
+			if nUnassigned == 1 {
+				v := unassigned >> 1
+				if unassigned&1 == 1 {
+					assign[v] = -1
+				} else {
+					assign[v] = 1
+				}
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			break
+		}
+	}
+	// Pick a branching variable from the first unresolved clause.
+	branch := -1
+	for _, c := range clauses {
+		sat := false
+		for _, lit := range c {
+			v, want := lit>>1, int8(1)
+			if lit&1 == 1 {
+				want = -1
+			}
+			if assign[v] == want {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, lit := range c {
+			if assign[lit>>1] == 0 {
+				branch = lit >> 1
+				break
+			}
+		}
+		if branch >= 0 {
+			break
+		}
+	}
+	if branch < 0 {
+		return true // every clause satisfied
+	}
+	for _, val := range []int8{1, -1} {
+		cp := make([]int8, len(assign))
+		copy(cp, assign)
+		cp[branch] = val
+		if dpll(clauses, cp) {
+			copy(assign, cp)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+// Package qlang implements a small line-oriented query language for
+// GTPQs, used by cmd/gtpq and the examples:
+//
+//	# comment
+//	node auction label=open_auction output
+//	node b      label=bidder parent=auction edge=pc
+//	node pref   label=personref parent=b edge=pc
+//	node person label=person3 parent=pref edge=pc ref output
+//	pnode edu   label=education parent=person edge=ad
+//	pred person: !edu
+//	where person: year>=2000 year<=2010
+//
+// `node` adds a backbone node, `pnode` a predicate node. The first node
+// is the root. Flags: `output` marks an output node, `ref` marks the
+// edge from the parent as an ID/IDREF reference. `pred` attaches a
+// structural predicate (formula over child node names with ! & | and
+// parentheses); `where` adds attribute comparisons.
+package qlang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+)
+
+// Parse parses the DSL into a validated query.
+func Parse(src string) (*core.Query, error) {
+	q := core.NewQuery()
+	names := map[string]int{}
+	type pending struct {
+		line int
+		name string
+		text string
+		kind string // "pred" or "where"
+	}
+	var deferred []pending
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node", "pnode":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("qlang: line %d: missing node name", ln+1)
+			}
+			name := fields[1]
+			if _, dup := names[name]; dup {
+				return nil, fmt.Errorf("qlang: line %d: duplicate node %q", ln+1, name)
+			}
+			kind := core.Backbone
+			if fields[0] == "pnode" {
+				kind = core.Predicate
+			}
+			var label, parent string
+			edge := core.AD
+			output, ref := false, false
+			for _, f := range fields[2:] {
+				switch {
+				case strings.HasPrefix(f, "label="):
+					label = f[len("label="):]
+				case strings.HasPrefix(f, "parent="):
+					parent = f[len("parent="):]
+				case f == "edge=pc":
+					edge = core.PC
+				case f == "edge=ad":
+					edge = core.AD
+				case f == "output":
+					output = true
+				case f == "ref":
+					ref = true
+				default:
+					return nil, fmt.Errorf("qlang: line %d: unknown attribute %q", ln+1, f)
+				}
+			}
+			var attr core.AttrPred
+			if label != "" {
+				attr = core.Label(label)
+			}
+			var id int
+			if parent == "" {
+				if q.Root != -1 {
+					return nil, fmt.Errorf("qlang: line %d: node %q has no parent but the root is already %q", ln+1, name, q.Nodes[q.Root].Name)
+				}
+				if kind == core.Predicate {
+					return nil, fmt.Errorf("qlang: line %d: the root cannot be a predicate node", ln+1)
+				}
+				id = q.AddRoot(name, attr)
+			} else {
+				pid, ok := names[parent]
+				if !ok {
+					return nil, fmt.Errorf("qlang: line %d: unknown parent %q", ln+1, parent)
+				}
+				id = q.AddNode(name, kind, pid, edge, attr)
+			}
+			names[name] = id
+			if output {
+				q.SetOutput(id)
+			}
+			if ref {
+				q.SetViaRef(id)
+			}
+		case "pred", "where":
+			rest := strings.TrimSpace(line[len(fields[0]):])
+			i := strings.Index(rest, ":")
+			if i < 0 {
+				return nil, fmt.Errorf("qlang: line %d: expected `%s <node>: ...`", ln+1, fields[0])
+			}
+			deferred = append(deferred, pending{
+				line: ln + 1,
+				name: strings.TrimSpace(rest[:i]),
+				text: strings.TrimSpace(rest[i+1:]),
+				kind: fields[0],
+			})
+		default:
+			return nil, fmt.Errorf("qlang: line %d: unknown directive %q", ln+1, fields[0])
+		}
+	}
+	for _, p := range deferred {
+		u, ok := names[p.name]
+		if !ok {
+			return nil, fmt.Errorf("qlang: line %d: unknown node %q", p.line, p.name)
+		}
+		if p.kind == "pred" {
+			f, err := logic.Parse(p.text, func(child string) (int, error) {
+				c, ok := names[child]
+				if !ok {
+					return 0, fmt.Errorf("unknown node %q", child)
+				}
+				return c, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("qlang: line %d: %v", p.line, err)
+			}
+			q.SetStruct(u, f)
+			continue
+		}
+		atoms, err := parseWhere(p.text)
+		if err != nil {
+			return nil, fmt.Errorf("qlang: line %d: %v", p.line, err)
+		}
+		q.Nodes[u].Attr = append(q.Nodes[u].Attr, atoms...)
+	}
+	if q.Root == -1 {
+		return nil, fmt.Errorf("qlang: query has no nodes")
+	}
+	if len(q.Outputs()) == 0 {
+		q.SetOutput(q.Root)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("qlang: %v", err)
+	}
+	return q, nil
+}
+
+var whereOps = []struct {
+	text string
+	op   core.Op
+}{
+	{"<=", core.LE}, {">=", core.GE}, {"!=", core.NE},
+	{"<", core.LT}, {">", core.GT}, {"=", core.EQ},
+}
+
+func parseWhere(text string) (core.AttrPred, error) {
+	var atoms core.AttrPred
+	for _, tok := range strings.Fields(text) {
+		found := false
+		for _, cand := range whereOps {
+			i := strings.Index(tok, cand.text)
+			if i <= 0 {
+				continue
+			}
+			attr, val := tok[:i], tok[i+len(cand.text):]
+			if val == "" {
+				return nil, fmt.Errorf("empty value in %q", tok)
+			}
+			var v graph.Value
+			if n, err := strconv.ParseFloat(val, 64); err == nil {
+				v = graph.NumV(n)
+			} else {
+				v = graph.StrV(val)
+			}
+			atoms = append(atoms, core.Atom{Attr: attr, Op: cand.op, Val: v})
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("cannot parse condition %q", tok)
+		}
+	}
+	return atoms, nil
+}
+
+// Format renders q back into the DSL (stable output, round-trips
+// through Parse).
+func Format(q *core.Query) string {
+	var b strings.Builder
+	for _, u := range q.PreOrder() {
+		n := q.Nodes[u]
+		if n.Kind == core.Predicate {
+			b.WriteString("pnode ")
+		} else {
+			b.WriteString("node ")
+		}
+		b.WriteString(n.Name)
+		for _, a := range n.Attr {
+			if a.Attr == "label" && a.Op == core.EQ && !a.Val.IsNum {
+				fmt.Fprintf(&b, " label=%s", a.Val.Str)
+				break
+			}
+		}
+		if n.Parent != -1 {
+			fmt.Fprintf(&b, " parent=%s", q.Nodes[n.Parent].Name)
+			if n.PEdge == core.PC {
+				b.WriteString(" edge=pc")
+			} else {
+				b.WriteString(" edge=ad")
+			}
+		}
+		if n.Output {
+			b.WriteString(" output")
+		}
+		if n.ViaRef {
+			b.WriteString(" ref")
+		}
+		b.WriteByte('\n')
+	}
+	var preds []int
+	for _, n := range q.Nodes {
+		if n.Struct != nil {
+			preds = append(preds, n.ID)
+		}
+	}
+	sort.Ints(preds)
+	for _, u := range preds {
+		fmt.Fprintf(&b, "pred %s: %s\n", q.Nodes[u].Name,
+			q.Nodes[u].Struct.Render(func(v int) string { return q.Nodes[v].Name }))
+	}
+	for _, u := range q.PreOrder() {
+		n := q.Nodes[u]
+		var rest []string
+		labelDone := false
+		for _, a := range n.Attr {
+			if a.Attr == "label" && a.Op == core.EQ && !a.Val.IsNum && !labelDone {
+				labelDone = true // emitted on the node line
+				continue
+			}
+			rest = append(rest, fmt.Sprintf("%s%s%s", a.Attr, a.Op, a.Val))
+		}
+		if len(rest) > 0 {
+			fmt.Fprintf(&b, "where %s: %s\n", n.Name, strings.Join(rest, " "))
+		}
+	}
+	return b.String()
+}

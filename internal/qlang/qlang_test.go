@@ -1,0 +1,143 @@
+package qlang
+
+import (
+	"strings"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+)
+
+const sample = `
+# Q3 of Example 1: Alice's papers not co-authored with Bob, 2000-2010.
+node paper label=inproceedings output
+pnode alice label=author parent=paper edge=pc
+pnode bob   label=author parent=paper edge=pc
+node  title label=title  parent=paper edge=pc output
+node  conf  label=proceedings parent=paper edge=pc ref
+node  year  label=year parent=conf edge=pc
+pred paper: alice & !bob
+where alice: value=Alice
+where bob: value=Bob
+where year: value>=2000 value<=2010
+`
+
+func TestParseSample(t *testing.T) {
+	q, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 6 {
+		t.Errorf("Size = %d, want 6", q.Size())
+	}
+	names := q.NameToID()
+	if q.Nodes[names["alice"]].Kind != core.Predicate {
+		t.Error("alice should be a predicate node")
+	}
+	if !q.Nodes[names["conf"]].ViaRef {
+		t.Error("conf edge should be ref")
+	}
+	outs := q.Outputs()
+	if len(outs) != 2 {
+		t.Errorf("outputs = %v", outs)
+	}
+	f := q.Nodes[names["paper"]].Struct
+	if f == nil || f.NegationFree() {
+		t.Error("paper predicate should contain negation")
+	}
+	// where atoms merged into the attr predicate.
+	a := q.Nodes[names["year"]].Attr
+	if len(a) != 3 { // label + two bounds
+		t.Errorf("year attr = %v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"node",                              // missing name
+		"node a\nnode a",                    // duplicate
+		"node a parent=zzz",                 // unknown parent
+		"node a\nnode b",                    // two roots
+		"pnode a",                           // predicate root
+		"node a\npred zzz: x",               // unknown pred node
+		"node a\npred a: zzz",               // unknown formula name
+		"node a\nwhere a: ???",              // bad condition
+		"node a\nnode b parent=a badattr=1", // unknown attribute
+		"frobnicate a",                      // unknown directive
+		"",                                  // empty
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestDefaultOutputIsRoot(t *testing.T) {
+	q, err := Parse("node a label=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs := q.Outputs(); len(outs) != 1 || outs[0] != q.Root {
+		t.Errorf("outputs = %v", outs)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	q, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(q)
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if q2.Size() != q.Size() {
+		t.Errorf("round trip changed size: %d vs %d", q.Size(), q2.Size())
+	}
+	if !core.Equivalent(q, q2) {
+		t.Errorf("round trip changed semantics:\n%s\nvs\n%s", q, q2)
+	}
+}
+
+func TestWhereValueTypes(t *testing.T) {
+	q, err := Parse("node a label=x\nwhere a: year>=2000 name=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr := q.Nodes[q.Root].Attr
+	var year, name *core.Atom
+	for i := range attr {
+		switch attr[i].Attr {
+		case "year":
+			year = &attr[i]
+		case "name":
+			name = &attr[i]
+		}
+	}
+	if year == nil || !year.Val.IsNum || year.Val.Num != 2000 || year.Op != core.GE {
+		t.Errorf("year atom wrong: %+v", year)
+	}
+	if name == nil || name.Val.IsNum || name.Val.Str != "alice" {
+		t.Errorf("name atom wrong: %+v", name)
+	}
+	_ = graph.Value{}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# header\n\n  # indented comment\nnode a label=x output\n\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatContainsPredsAndWheres(t *testing.T) {
+	q, _ := Parse(sample)
+	text := Format(q)
+	for _, want := range []string{"pred paper:", "where year:", "edge=pc", "ref", "output", "pnode alice"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format output missing %q:\n%s", want, text)
+		}
+	}
+}

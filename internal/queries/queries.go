@@ -1,0 +1,321 @@
+// Package queries defines the paper's evaluation workloads: the XMark
+// queries Q1–Q3 of Fig 7, the Fig 11 tree with the output-node variants
+// Q4–Q8 of Table 3 and the DIS/NEG/DIS_NEG structural predicates of
+// Table 4, and the random query generator for the arXiv graph (§5.2).
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+)
+
+// personLabel / itemLabel pick a group label (the paper randomizes the
+// attribute predicate of person/item query nodes across ten groups).
+func personLabel(r *rand.Rand) string { return fmt.Sprintf("person%d", r.Intn(10)) }
+func itemLabel(r *rand.Rand) string   { return fmt.Sprintf("item%d", r.Intn(10)) }
+
+// XMarkQ1 is Fig 7(a): open_auction[bidder/personref=>person[.//education
+// and address/city] and current]; dotted (ViaRef) edge into person. All
+// query nodes are output (traditional TPQ).
+func XMarkQ1(r *rand.Rand) *core.Query {
+	q := core.NewQuery()
+	oa := q.AddRoot("open_auction", core.Label("open_auction"))
+	bidder := q.AddNode("bidder", core.Backbone, oa, core.PC, core.Label("bidder"))
+	pref := q.AddNode("personref", core.Backbone, bidder, core.PC, core.Label("personref"))
+	person := q.AddNode("person", core.Backbone, pref, core.PC, core.Label(personLabel(r)))
+	q.SetViaRef(person)
+	q.AddNode("education", core.Backbone, person, core.AD, core.Label("education"))
+	addr := q.AddNode("address", core.Backbone, person, core.PC, core.Label("address"))
+	q.AddNode("city", core.Backbone, addr, core.PC, core.Label("city"))
+	q.AddNode("current", core.Backbone, oa, core.PC, core.Label("current"))
+	markAllOutput(q)
+	return q
+}
+
+// XMarkQ2 is Fig 7(b): Q1 plus itemref => item / location.
+func XMarkQ2(r *rand.Rand) *core.Query {
+	q := XMarkQ1(r)
+	oa := q.Root
+	iref := q.AddNode("itemref", core.Backbone, oa, core.PC, core.Label("itemref"))
+	item := q.AddNode("item", core.Backbone, iref, core.PC, core.Label(itemLabel(r)))
+	q.SetViaRef(item)
+	q.AddNode("location", core.Backbone, item, core.PC, core.Label("location"))
+	markAllOutput(q)
+	return q
+}
+
+// XMarkQ3 is Fig 7(c): Q2 plus seller => person / profile.
+func XMarkQ3(r *rand.Rand) *core.Query {
+	q := XMarkQ2(r)
+	oa := q.Root
+	seller := q.AddNode("seller", core.Backbone, oa, core.PC, core.Label("seller"))
+	person2 := q.AddNode("person2", core.Backbone, seller, core.PC, core.Label(personLabel(r)))
+	q.SetViaRef(person2)
+	q.AddNode("profile", core.Backbone, person2, core.PC, core.Label("profile"))
+	markAllOutput(q)
+	return q
+}
+
+func markAllOutput(q *core.Query) {
+	for _, n := range q.Nodes {
+		if n.Kind == core.Backbone {
+			q.SetOutput(n.ID)
+		}
+	}
+}
+
+// Fig11 node names, used by the Table 3/4 specs below.
+//
+//	open_auction
+//	  bidder / personref => person { education(AD), address / city }
+//	  seller => person2 { profile }
+//	  itemref => item { location, mailbox / mail }
+type Fig11 struct {
+	Q     *core.Query
+	Names map[string]int
+}
+
+// fig11Spec describes one node of the Fig 11 tree.
+type fig11Spec struct {
+	name, label, parent string
+	edge                core.EdgeType
+	viaRef              bool
+}
+
+var fig11Nodes = []fig11Spec{
+	{name: "bidder", label: "bidder", parent: "open_auction", edge: core.PC},
+	{name: "personref", label: "personref", parent: "bidder", edge: core.PC},
+	{name: "person", label: "", parent: "personref", edge: core.PC, viaRef: true},
+	{name: "education", label: "education", parent: "person", edge: core.AD},
+	{name: "address", label: "address", parent: "person", edge: core.PC},
+	{name: "city", label: "city", parent: "address", edge: core.PC},
+	{name: "seller", label: "seller", parent: "open_auction", edge: core.PC},
+	{name: "person2", label: "", parent: "seller", edge: core.PC, viaRef: true},
+	{name: "profile", label: "profile", parent: "person2", edge: core.PC},
+	{name: "itemref", label: "itemref", parent: "open_auction", edge: core.PC},
+	{name: "item", label: "", parent: "itemref", edge: core.PC, viaRef: true},
+	{name: "location", label: "location", parent: "item", edge: core.PC},
+	{name: "mailbox", label: "mailbox", parent: "item", edge: core.AD},
+	{name: "mail", label: "mail", parent: "mailbox", edge: core.PC},
+}
+
+// NewFig11 builds the Fig 11 tree. predicates names the nodes that act
+// as predicate nodes (they and their descendants); preds maps node name
+// to a structural predicate formula over child names (Table 4 syntax);
+// outputs lists output node names (empty: every backbone node).
+func NewFig11(r *rand.Rand, predicateRoots []string, preds map[string]string, outputs []string) (*Fig11, error) {
+	q := core.NewQuery()
+	names := map[string]int{}
+	names["open_auction"] = q.AddRoot("open_auction", core.Label("open_auction"))
+
+	predUnder := map[string]bool{}
+	for _, p := range predicateRoots {
+		predUnder[p] = true
+	}
+	isPred := map[string]bool{}
+	// fig11Nodes lists parents before children, so predicate-ness
+	// propagates down in one pass.
+	for _, s := range fig11Nodes {
+		var attr core.AttrPred
+		if s.label == "" {
+			// person/person2/item: match any group via the tag attribute.
+			// (The paper's group labels make the 14-node conjunctive
+			// query vanishingly selective at scaled-down data sizes; the
+			// tag predicate keeps the query shape with non-empty answers.)
+			tag := "person"
+			if s.name == "item" {
+				tag = "item"
+			}
+			attr = core.AttrPred{{Attr: "tag", Op: core.EQ, Val: graph.StrV(tag)}}
+		} else {
+			attr = core.Label(s.label)
+		}
+		isPred[s.name] = predUnder[s.name] || isPred[s.parent]
+		kind := core.Backbone
+		if isPred[s.name] {
+			kind = core.Predicate
+		}
+		id := q.AddNode(s.name, kind, names[s.parent], s.edge, attr)
+		if s.viaRef {
+			q.SetViaRef(id)
+		}
+		names[s.name] = id
+	}
+	// Structural predicates.
+	for name, f := range preds {
+		u, ok := names[name]
+		if !ok {
+			return nil, fmt.Errorf("queries: unknown node %q in predicate spec", name)
+		}
+		formula, err := logic.Parse(f, func(childName string) (int, error) {
+			c, ok := names[childName]
+			if !ok {
+				return 0, fmt.Errorf("queries: unknown child %q", childName)
+			}
+			return c, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		q.SetStruct(u, formula)
+	}
+	// Nodes without an explicit formula require all their predicate
+	// children (the conjunctive-GTPQ convention), keeping the Fig 11
+	// branch structure mandatory inside predicate subtrees.
+	for _, n := range q.Nodes {
+		if n.Struct != nil {
+			continue
+		}
+		var vars []*logic.Formula
+		for _, c := range n.Children {
+			if q.Nodes[c].Kind == core.Predicate {
+				vars = append(vars, logic.Var(c))
+			}
+		}
+		if len(vars) > 0 {
+			q.SetStruct(n.ID, logic.And(vars...))
+		}
+	}
+	if len(outputs) == 0 {
+		markAllOutput(q)
+	} else {
+		for _, name := range outputs {
+			q.SetOutput(names[name])
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &Fig11{Q: q, Names: names}, nil
+}
+
+// Exp1Outputs is Table 3: the output-node sets of Q4–Q8.
+var Exp1Outputs = map[string][]string{
+	"Q4": {"open_auction"},
+	"Q5": {"open_auction", "bidder", "seller"},
+	"Q6": {"open_auction", "bidder", "seller", "city", "profile"},
+	"Q7": {"open_auction", "item", "location"},
+	"Q8": nil, // all query nodes
+}
+
+// Exp2Spec is one Table 4 GTPQ: the predicate subtree roots and the
+// structural predicates.
+type Exp2Spec struct {
+	Name           string
+	PredicateRoots []string
+	Preds          map[string]string
+}
+
+// Exp2Specs is Table 4. Children are referenced by Fig 11 node names.
+var Exp2Specs = []Exp2Spec{
+	{"DIS1", []string{"bidder", "seller"},
+		map[string]string{"open_auction": "bidder | seller"}},
+	{"DIS2", []string{"bidder", "seller", "mailbox", "location"},
+		map[string]string{"open_auction": "bidder | seller", "item": "mailbox | location"}},
+	{"DIS3", []string{"bidder", "seller", "itemref"},
+		map[string]string{"open_auction": "bidder | seller | itemref"}},
+	{"NEG1", []string{"education"},
+		map[string]string{"person": "!education"}},
+	{"NEG2", []string{"bidder", "education"},
+		map[string]string{"open_auction": "!bidder", "person": "!education"}},
+	{"NEG3", []string{"bidder", "seller", "education"},
+		map[string]string{"open_auction": "!bidder & !seller", "person": "!education"}},
+	{"DIS_NEG1", []string{"bidder", "seller", "education"},
+		map[string]string{"open_auction": "!bidder | seller", "person": "!education"}},
+	{"DIS_NEG2", []string{"bidder", "seller"},
+		map[string]string{"open_auction": "(!bidder & seller) | (bidder & !seller)"}},
+	{"DIS_NEG3", []string{"bidder", "seller", "education"},
+		map[string]string{"open_auction": "(!bidder & seller) | (bidder & !seller)", "person": "!education"}},
+	{"DIS_NEG4", []string{"bidder", "seller", "itemref", "education"},
+		map[string]string{"open_auction": "(!bidder & seller & itemref) | (bidder & !seller & !itemref)", "person": "!education"}},
+}
+
+// NewExp2 builds one Table 4 query.
+func NewExp2(r *rand.Rand, spec Exp2Spec) (*core.Query, error) {
+	f, err := NewFig11(r, spec.PredicateRoots, spec.Preds, nil)
+	if err != nil {
+		return nil, err
+	}
+	return f.Q, nil
+}
+
+// NewExp1 builds one conjunctive Fig 11 query with Table 3 outputs.
+func NewExp1(r *rand.Rand, name string) (*core.Query, error) {
+	outs, ok := Exp1Outputs[name]
+	if !ok {
+		return nil, fmt.Errorf("queries: unknown Exp-1 query %q", name)
+	}
+	f, err := NewFig11(r, nil, nil, outs)
+	if err != nil {
+		return nil, err
+	}
+	return f.Q, nil
+}
+
+// ---- random arXiv queries (§5.2) ----
+
+// RandomTPQ samples a conjunctive TPQ of the given size from g: query
+// nodes take the labels of data nodes found on random downward walks,
+// guaranteeing a non-empty answer. All query nodes are output.
+func RandomTPQ(r *rand.Rand, g *graph.Graph, size int) *core.Query {
+	// Pick a start node with outgoing edges.
+	var start graph.NodeID
+	for tries := 0; ; tries++ {
+		start = graph.NodeID(r.Intn(g.N()))
+		if len(g.Out(start)) > 0 || tries > 50 {
+			break
+		}
+	}
+	q := core.NewQuery()
+	root := q.AddRoot("n0", core.Label(g.Label(start)))
+	images := []graph.NodeID{start}
+	ids := []int{root}
+	for len(ids) < size {
+		// Grow from a random existing query node whose image has
+		// descendants.
+		i := r.Intn(len(ids))
+		v := images[i]
+		if len(g.Out(v)) == 0 {
+			continue
+		}
+		// Random downward walk of 1–2 steps.
+		w := g.Out(v)[r.Intn(len(g.Out(v)))]
+		edge := core.PC
+		if r.Intn(2) == 0 && len(g.Out(w)) > 0 {
+			w = g.Out(w)[r.Intn(len(g.Out(w)))]
+			edge = core.AD
+		}
+		id := q.AddNode(fmt.Sprintf("n%d", len(ids)), core.Backbone, ids[i], edge, core.Label(g.Label(w)))
+		ids = append(ids, id)
+		images = append(images, w)
+	}
+	markAllOutput(q)
+	return q
+}
+
+// SizeClass classifies a result count into the paper's two groups.
+type SizeClass int
+
+const (
+	// Small is the 2–50 result group.
+	Small SizeClass = iota
+	// Large is the 200–1200 result group.
+	Large
+	// Other falls outside both bands.
+	Other
+)
+
+// Classify returns the §5.2 size class of a result count.
+func Classify(n int) SizeClass {
+	switch {
+	case n >= 2 && n <= 50:
+		return Small
+	case n >= 200 && n <= 1200:
+		return Large
+	}
+	return Other
+}

@@ -1,0 +1,171 @@
+// The queries test doubles as the end-to-end integration suite: the
+// paper's actual workload queries are evaluated on generated XMark and
+// arXiv data by every engine and compared against the oracle.
+package queries
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/decomp"
+	"gtpq/internal/gtea"
+	"gtpq/internal/hgjoin"
+	"gtpq/internal/reach"
+	"gtpq/internal/twig2stack"
+	"gtpq/internal/twigstack"
+	"gtpq/internal/twigstackd"
+	"gtpq/internal/xmark"
+
+	"gtpq/internal/arxiv"
+)
+
+func TestXMarkQueriesAllEnginesAgree(t *testing.T) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 60, Seed: 5})
+	tc := reach.NewTC(g)
+	builders := map[string]func(*rand.Rand) *core.Query{
+		"Q1": XMarkQ1, "Q2": XMarkQ2, "Q3": XMarkQ3,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				q := build(rand.New(rand.NewSource(seed)))
+				if err := q.Validate(); err != nil {
+					t.Fatalf("invalid %s: %v", name, err)
+				}
+				want := core.EvalNaive(g, tc, q)
+				if got := gtea.New(g).Eval(q); !want.Equal(got) {
+					t.Fatalf("gtea mismatch on %s seed %d:\nwant %sgot %s", name, seed, want, got)
+				}
+				if got := twigstack.New(g).Eval(q); !want.Equal(got) {
+					t.Fatalf("twigstack mismatch on %s seed %d:\nwant %sgot %s", name, seed, want, got)
+				}
+				if got := twig2stack.New(g).Eval(q); !want.Equal(got) {
+					t.Fatalf("twig2stack mismatch on %s seed %d", name, seed)
+				}
+				if got := twigstackd.New(g).Eval(q); !want.Equal(got) {
+					t.Fatalf("twigstackd mismatch on %s seed %d", name, seed)
+				}
+				if got := hgjoin.New(g).EvalPlus(q); !want.Equal(got) {
+					t.Fatalf("hgjoin+ mismatch on %s seed %d", name, seed)
+				}
+				if got := hgjoin.New(g).EvalStar(q); !want.Equal(got) {
+					t.Fatalf("hgjoin* mismatch on %s seed %d", name, seed)
+				}
+			}
+		})
+	}
+}
+
+func TestExp1QueriesValidAndConsistent(t *testing.T) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 60, Seed: 5})
+	tc := reach.NewTC(g)
+	r := rand.New(rand.NewSource(1))
+	var full *core.Answer
+	for _, name := range []string{"Q4", "Q5", "Q6", "Q7", "Q8"} {
+		q, err := NewExp1(rand.New(rand.NewSource(2)), name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := core.EvalNaive(g, tc, q)
+		got := gtea.New(g).Eval(q)
+		if !want.Equal(got) {
+			t.Fatalf("%s: gtea mismatch\nwant %sgot %s", name, want, got)
+		}
+		if name == "Q8" {
+			full = got
+		}
+	}
+	// Q4 (single output) must have no more distinct tuples than Q8.
+	q4, _ := NewExp1(rand.New(rand.NewSource(2)), "Q4")
+	a4 := gtea.New(g).Eval(q4)
+	if full != nil && a4.Len() > full.Len() {
+		t.Errorf("Q4 has more distinct results (%d) than Q8 (%d)", a4.Len(), full.Len())
+	}
+	_ = r
+}
+
+func TestExp2QueriesAllSpecs(t *testing.T) {
+	g, _ := xmark.Generate(xmark.Config{Scale: 1, PersonsPerUnit: 40, Seed: 6})
+	tc := reach.NewTC(g)
+	for _, spec := range Exp2Specs {
+		t.Run(spec.Name, func(t *testing.T) {
+			q, err := NewExp2(rand.New(rand.NewSource(3)), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := core.EvalNaive(g, tc, q)
+			if got := gtea.New(g).Eval(q); !want.Equal(got) {
+				t.Fatalf("gtea mismatch\nquery:\n%s\nwant %sgot %s", q, want, got)
+			}
+			// Decompose-and-merge over TwigStackD must agree too.
+			w := decomp.New(g, twigstackd.New(g), tc)
+			if got := w.Eval(q); !want.Equal(got) {
+				t.Fatalf("decomp(twigstackd) mismatch (%d subqueries)\nwant %sgot %s",
+					w.Subqueries, want, got)
+			}
+			// And over TwigStack (document forest + refs).
+			wt := decomp.New(g, twigstack.New(g), tc)
+			if got := wt.Eval(q); !want.Equal(got) {
+				t.Fatalf("decomp(twigstack) mismatch\nwant %sgot %s", want, got)
+			}
+		})
+	}
+}
+
+func TestRandomTPQNonEmptyOnArxiv(t *testing.T) {
+	g, _ := arxiv.Generate(arxiv.Config{
+		Papers: 800, Authors: 300, AuthorsPerPaper: 2, CitesPerPaper: 2,
+		Window: 200, PaperLabels: 60, AuthorLabels: 40, Seed: 8,
+	})
+	tc := reach.NewTC(g)
+	r := rand.New(rand.NewSource(4))
+	nonEmpty := 0
+	for i := 0; i < 20; i++ {
+		q := RandomTPQ(r, g, 5)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("invalid random TPQ: %v", err)
+		}
+		want := core.EvalNaive(g, tc, q)
+		got := gtea.New(g).Eval(q)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d: gtea mismatch on random TPQ\n%s", i, q)
+		}
+		if want.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 15 {
+		t.Errorf("only %d/20 random TPQs non-empty; sampling should nearly always produce matches", nonEmpty)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		n    int
+		want SizeClass
+	}{{0, Other}, {1, Other}, {2, Small}, {50, Small}, {51, Other}, {199, Other}, {200, Large}, {1200, Large}, {1201, Other}}
+	for _, c := range cases {
+		if got := Classify(c.n); got != c.want {
+			t.Errorf("Classify(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFig11PredicatePropagation(t *testing.T) {
+	f, err := NewFig11(rand.New(rand.NewSource(1)), []string{"bidder"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.Q
+	for _, name := range []string{"bidder", "personref", "person", "education", "address", "city"} {
+		if q.Nodes[f.Names[name]].Kind != core.Predicate {
+			t.Errorf("%s should be a predicate node", name)
+		}
+	}
+	for _, name := range []string{"seller", "itemref", "item", "open_auction"} {
+		if q.Nodes[f.Names[name]].Kind != core.Backbone {
+			t.Errorf("%s should stay backbone", name)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package reach
+
+// Minimum path cover of the condensation DAG via Hopcroft-Karp bipartite
+// matching. The resulting vertex-disjoint paths are the chain cover the
+// 3-hop index builds on: consecutive chain positions are real DAG edges,
+// so reachability along a chain is the sequence-number order the paper
+// relies on (v ≤c v' iff v.sid ≤ v'.sid).
+
+const hkInf = int32(1) << 30
+
+// minPathCover computes a minimum path cover of the DAG given by out
+// (n nodes). It returns next[s] = the successor of s on its path, or -1
+// when s ends a path.
+func minPathCover(out [][]int32, n int) []int32 {
+	matchL := make([]int32, n) // left u matched to right matchL[u]
+	matchR := make([]int32, n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, int32(u))
+			} else {
+				dist[u] = hkInf
+			}
+		}
+		found := false
+		for i := 0; i < len(queue); i++ {
+			u := queue[i]
+			for _, w := range out[u] {
+				mu := matchR[w]
+				if mu == -1 {
+					found = true
+				} else if dist[mu] == hkInf {
+					dist[mu] = dist[u] + 1
+					queue = append(queue, mu)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int32) bool
+	dfs = func(u int32) bool {
+		for _, w := range out[u] {
+			mu := matchR[w]
+			if mu == -1 || (dist[mu] == dist[u]+1 && dfs(mu)) {
+				matchL[u] = w
+				matchR[w] = u
+				return true
+			}
+		}
+		dist[u] = hkInf
+		return false
+	}
+
+	for bfs() {
+		for u := int32(0); u < int32(n); u++ {
+			if matchL[u] == -1 {
+				dfs(u)
+			}
+		}
+	}
+	return matchL
+}
+
+// chainDecompose partitions the n DAG nodes into chains following a
+// minimum path cover. It returns the chains (node ids in path order) and
+// per-node chain id / sequence id.
+func chainDecompose(out [][]int32, n int) (chains [][]int32, chainOf, sidOf []int32) {
+	next := minPathCover(out, n)
+	isSucc := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if next[u] != -1 {
+			isSucc[next[u]] = true
+		}
+	}
+	chainOf = make([]int32, n)
+	sidOf = make([]int32, n)
+	for u := 0; u < n; u++ {
+		if isSucc[u] {
+			continue // not a path head
+		}
+		cid := int32(len(chains))
+		var chain []int32
+		for v := int32(u); v != -1; v = next[v] {
+			chainOf[v] = cid
+			sidOf[v] = int32(len(chain))
+			chain = append(chain, v)
+		}
+		chains = append(chains, chain)
+	}
+	return chains, chainOf, sidOf
+}

@@ -1,0 +1,363 @@
+package reach
+
+import "gtpq/internal/graph"
+
+// Contour is the merged complete predecessor (or successor) list of a
+// node set S (Procedure 2 / MergeSuccLists): one extreme position per
+// chain — the largest position reaching S for a predecessor contour, the
+// smallest position reachable from S for a successor contour — plus the
+// SCC membership of S itself, needed to answer *strict* reachability
+// when the probe node can sit inside S.
+type Contour struct {
+	pred    bool            // predecessor contour (vals hold maxima)
+	vals    map[int32]int32 // cid -> extreme sid
+	members map[int32]bool  // SCCs containing an element of S
+}
+
+// Size returns the number of chain entries in the contour (the paper's
+// contour-size measure; bounded by the number of chains).
+func (c *Contour) Size() int { return len(c.vals) }
+
+// MergePredLists computes the predecessor contour of S following
+// Procedure 2: every element's complete predecessor list is folded in,
+// and the per-chain `visited` high-water mark guarantees no Lin list is
+// examined twice.
+func (h *ThreeHop) MergePredLists(S []graph.NodeID) *Contour {
+	c := &Contour{
+		pred:    true,
+		vals:    make(map[int32]int32),
+		members: make(map[int32]bool, len(S)),
+	}
+	visited := make(map[int32]int32) // cid -> largest sid whose prefix has been fully scanned
+	for _, v := range S {
+		s := h.cond.Comp[v]
+		c.members[s] = true
+		cid, sid := h.chainOf[s], h.sidOf[s]
+		if cur, ok := c.vals[cid]; !ok || sid > cur {
+			c.vals[cid] = sid
+		}
+		// Walk the chain prefix [0, sid] downward over non-empty Lin
+		// lists, stopping at the already-visited region.
+		limit, seen := visited[cid]
+		for t := h.firstIn(s); t != -1; t = h.skipIn[t] {
+			if seen && h.sidOf[t] <= limit {
+				break
+			}
+			for _, e := range h.lin[t] {
+				h.stats.Lookups++
+				if cur, ok := c.vals[e.cid]; !ok || e.sid > cur {
+					c.vals[e.cid] = e.sid
+				}
+			}
+		}
+		if !seen || sid > limit {
+			visited[cid] = sid
+		}
+	}
+	return c
+}
+
+// MergeSuccLists computes the successor contour of S (per-chain minima
+// over complete successor lists), the dual of MergePredLists.
+func (h *ThreeHop) MergeSuccLists(S []graph.NodeID) *Contour {
+	c := &Contour{
+		vals:    make(map[int32]int32),
+		members: make(map[int32]bool, len(S)),
+	}
+	visited := make(map[int32]int32) // cid -> smallest sid whose suffix has been fully scanned
+	for _, v := range S {
+		s := h.cond.Comp[v]
+		c.members[s] = true
+		cid, sid := h.chainOf[s], h.sidOf[s]
+		if cur, ok := c.vals[cid]; !ok || sid < cur {
+			c.vals[cid] = sid
+		}
+		limit, seen := visited[cid]
+		for t := h.firstOut(s); t != -1; t = h.skipOut[t] {
+			if seen && h.sidOf[t] >= limit {
+				break
+			}
+			for _, e := range h.lout[t] {
+				h.stats.Lookups++
+				if cur, ok := c.vals[e.cid]; !ok || e.sid < cur {
+					c.vals[e.cid] = e.sid
+				}
+			}
+		}
+		if !seen || sid < limit {
+			visited[cid] = sid
+		}
+	}
+	return c
+}
+
+// ReachesContour reports whether v strictly reaches some element of the
+// set summarized by the predecessor contour cp (Proposition 7, first
+// half). The rare ambiguous case — v itself is in S, v's SCC is trivial,
+// and the only inclusive witness is v's own position — falls back to
+// checking v's DAG out-neighbors inclusively.
+func (h *ThreeHop) ReachesContour(v graph.NodeID, cp *Contour) bool {
+	h.stats.Queries++
+	s := h.cond.Comp[v]
+	if cp.members[s] && h.cond.Nontrivial(s) {
+		return true
+	}
+	ambiguous := false
+	if m, ok := cp.vals[h.chainOf[s]]; ok {
+		switch {
+		case m > h.sidOf[s]:
+			return true
+		case m == h.sidOf[s]:
+			if !cp.members[s] {
+				return true
+			}
+			ambiguous = true
+		}
+	}
+	for t := h.firstOut(s); t != -1; t = h.skipOut[t] {
+		for _, e := range h.lout[t] {
+			h.stats.Lookups++
+			if m, ok := cp.vals[e.cid]; ok && m >= e.sid {
+				return true
+			}
+		}
+	}
+	if ambiguous {
+		for _, w := range h.cond.Out[s] {
+			if h.inclusiveReachesPred(w, cp) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ContourReaches reports whether some element of the set summarized by
+// the successor contour cs strictly reaches v (Proposition 7, second
+// half).
+func (h *ThreeHop) ContourReaches(cs *Contour, v graph.NodeID) bool {
+	h.stats.Queries++
+	s := h.cond.Comp[v]
+	if cs.members[s] && h.cond.Nontrivial(s) {
+		return true
+	}
+	ambiguous := false
+	if m, ok := cs.vals[h.chainOf[s]]; ok {
+		switch {
+		case m < h.sidOf[s]:
+			return true
+		case m == h.sidOf[s]:
+			if !cs.members[s] {
+				return true
+			}
+			ambiguous = true
+		}
+	}
+	for t := h.firstIn(s); t != -1; t = h.skipIn[t] {
+		for _, e := range h.lin[t] {
+			h.stats.Lookups++
+			if m, ok := cs.vals[e.cid]; ok && m <= e.sid {
+				return true
+			}
+		}
+	}
+	if ambiguous {
+		for _, w := range h.cond.In[s] {
+			if h.inclusiveSuccReaches(cs, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inclusiveReachesPred reports whether SCC s inclusively reaches the set
+// behind the predecessor contour.
+func (h *ThreeHop) inclusiveReachesPred(s int32, cp *Contour) bool {
+	if m, ok := cp.vals[h.chainOf[s]]; ok && m >= h.sidOf[s] {
+		return true
+	}
+	for t := h.firstOut(s); t != -1; t = h.skipOut[t] {
+		for _, e := range h.lout[t] {
+			h.stats.Lookups++
+			if m, ok := cp.vals[e.cid]; ok && m >= e.sid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (h *ThreeHop) inclusiveSuccReaches(cs *Contour, s int32) bool {
+	if m, ok := cs.vals[h.chainOf[s]]; ok && m <= h.sidOf[s] {
+		return true
+	}
+	for t := h.firstIn(s); t != -1; t = h.skipIn[t] {
+		for _, e := range h.lin[t] {
+			h.stats.Lookups++
+			if m, ok := cs.vals[e.cid]; ok && m <= e.sid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OutWalker streams the complete-successor-list entries of candidates
+// processed in descending sequence order on each chain, visiting every
+// Lout element at most once per walker lifetime (the inner loop of
+// Procedure 6). Callers create one walker per query node being pruned.
+type OutWalker struct {
+	h       *ThreeHop
+	visited map[int32]int32 // cid -> smallest sid whose suffix was walked
+}
+
+// NewOutWalker returns a walker over h.
+func (h *ThreeHop) NewOutWalker() *OutWalker {
+	return &OutWalker{h: h, visited: make(map[int32]int32)}
+}
+
+// Walk invokes f for every Lout entry in the not-yet-visited part of the
+// chain suffix starting at v's position. Entries already walked for a
+// larger candidate on the same chain are skipped, matching the
+// `visited` bookkeeping of Procedure 6.
+func (w *OutWalker) Walk(v graph.NodeID, f func(cid, sid int32)) {
+	h := w.h
+	s := h.cond.Comp[v]
+	cid, sid := h.chainOf[s], h.sidOf[s]
+	limit, seen := w.visited[cid]
+	for t := h.firstOut(s); t != -1; t = h.skipOut[t] {
+		if seen && h.sidOf[t] >= limit {
+			break
+		}
+		for _, e := range h.lout[t] {
+			h.stats.Lookups++
+			f(e.cid, e.sid)
+		}
+	}
+	if !seen || sid < limit {
+		w.visited[cid] = sid
+	}
+}
+
+// InWalker is the dual used by Procedure 7: candidates are processed in
+// ascending sequence order per chain, and Lin entries of the chain
+// prefix are visited at most once.
+type InWalker struct {
+	h       *ThreeHop
+	visited map[int32]int32 // cid -> largest sid whose prefix was walked
+}
+
+// NewInWalker returns a walker over h.
+func (h *ThreeHop) NewInWalker() *InWalker {
+	return &InWalker{h: h, visited: make(map[int32]int32)}
+}
+
+// Walk invokes f for every Lin entry in the not-yet-visited part of the
+// chain prefix ending at v's position.
+func (w *InWalker) Walk(v graph.NodeID, f func(cid, sid int32)) {
+	h := w.h
+	s := h.cond.Comp[v]
+	cid, sid := h.chainOf[s], h.sidOf[s]
+	limit, seen := w.visited[cid]
+	for t := h.firstIn(s); t != -1; t = h.skipIn[t] {
+		if seen && h.sidOf[t] <= limit {
+			break
+		}
+		for _, e := range h.lin[t] {
+			h.stats.Lookups++
+			f(e.cid, e.sid)
+		}
+	}
+	if !seen || sid > limit {
+		w.visited[cid] = sid
+	}
+}
+
+// Position returns v's chain id and sequence id (engines group candidate
+// sets by chain with these).
+func (h *ThreeHop) Position(v graph.NodeID) (cid, sid int32) {
+	s := h.cond.Comp[v]
+	return h.chainOf[s], h.sidOf[s]
+}
+
+// CheckOwn reports the relationship of v's own chain position against a
+// predecessor contour: reached (definitely strict), ambiguous (witness
+// is v's own position and v ∈ S), or nothing.
+func (h *ThreeHop) CheckOwn(v graph.NodeID, cp *Contour) (hit, ambiguous bool) {
+	s := h.cond.Comp[v]
+	if cp.members[s] && h.cond.Nontrivial(s) {
+		return true, false
+	}
+	if m, ok := cp.vals[h.chainOf[s]]; ok {
+		switch {
+		case m > h.sidOf[s]:
+			return true, false
+		case m == h.sidOf[s]:
+			if !cp.members[s] {
+				return true, false
+			}
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// ResolveAmbiguous answers the rare own-position ambiguity by probing
+// v's DAG out-neighbors inclusively against the predecessor contour.
+func (h *ThreeHop) ResolveAmbiguous(v graph.NodeID, cp *Contour) bool {
+	s := h.cond.Comp[v]
+	for _, w := range h.cond.Out[s] {
+		if h.inclusiveReachesPred(w, cp) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckOwnSucc is CheckOwn's dual for successor contours (upward
+// pruning).
+func (h *ThreeHop) CheckOwnSucc(cs *Contour, v graph.NodeID) (hit, ambiguous bool) {
+	s := h.cond.Comp[v]
+	if cs.members[s] && h.cond.Nontrivial(s) {
+		return true, false
+	}
+	if m, ok := cs.vals[h.chainOf[s]]; ok {
+		switch {
+		case m < h.sidOf[s]:
+			return true, false
+		case m == h.sidOf[s]:
+			if !cs.members[s] {
+				return true, false
+			}
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// ResolveAmbiguousSucc resolves the dual ambiguity through v's DAG
+// in-neighbors.
+func (h *ThreeHop) ResolveAmbiguousSucc(cs *Contour, v graph.NodeID) bool {
+	s := h.cond.Comp[v]
+	for _, w := range h.cond.In[s] {
+		if h.inclusiveSuccReaches(cs, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchPred reports whether a single complete-successor-list entry
+// matches the predecessor contour.
+func (c *Contour) MatchPred(cid, sid int32) bool {
+	m, ok := c.vals[cid]
+	return ok && m >= sid
+}
+
+// MatchSucc reports whether a single complete-predecessor-list entry
+// matches the successor contour.
+func (c *Contour) MatchSucc(cid, sid int32) bool {
+	m, ok := c.vals[cid]
+	return ok && m <= sid
+}

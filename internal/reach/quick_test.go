@@ -1,0 +1,142 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gtpq/internal/graph"
+)
+
+// Property-based invariants for the reachability indexes, driven by
+// testing/quick over randomized seeds.
+
+func TestQuickReachabilityIsTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	cfg := &quick.Config{MaxCount: 40, Rand: r}
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randDigraph(rr, 2+rr.Intn(25), 2+rr.Intn(70))
+		h := NewThreeHop(g)
+		// Sample triples: u→v and v→w imply u→w.
+		for i := 0; i < 30; i++ {
+			u := graph.NodeID(rr.Intn(g.N()))
+			v := graph.NodeID(rr.Intn(g.N()))
+			w := graph.NodeID(rr.Intn(g.N()))
+			if h.Reaches(u, v) && h.Reaches(v, w) && !h.Reaches(u, w) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEdgeImpliesReach(t *testing.T) {
+	r := rand.New(rand.NewSource(402))
+	cfg := &quick.Config{MaxCount: 40, Rand: r}
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randDigraph(rr, 2+rr.Intn(25), 2+rr.Intn(70))
+		h := NewThreeHop(g)
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Out(graph.NodeID(v)) {
+				if !h.Reaches(graph.NodeID(v), w) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContourSubsumesMembers(t *testing.T) {
+	// v reaches the contour of S whenever it reaches any single member
+	// (the contour must never lose reachability information).
+	r := rand.New(rand.NewSource(403))
+	cfg := &quick.Config{MaxCount: 40, Rand: r}
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randDAG(rr, 2+rr.Intn(30), 2+rr.Intn(80))
+		h := NewThreeHop(g)
+		k := 1 + rr.Intn(5)
+		S := make([]graph.NodeID, k)
+		for i := range S {
+			S[i] = graph.NodeID(rr.Intn(g.N()))
+		}
+		cp := h.MergePredLists(S)
+		cs := h.MergeSuccLists(S)
+		for v := 0; v < g.N(); v++ {
+			nv := graph.NodeID(v)
+			for _, s := range S {
+				if h.Reaches(nv, s) && !h.ReachesContour(nv, cp) {
+					return false
+				}
+				if h.Reaches(s, nv) && !h.ContourReaches(cs, nv) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIndexesAgree(t *testing.T) {
+	// 3-hop, SSPI and TC must answer identically on arbitrary digraphs.
+	r := rand.New(rand.NewSource(404))
+	cfg := &quick.Config{MaxCount: 30, Rand: r}
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randDigraph(rr, 2+rr.Intn(20), 2+rr.Intn(60))
+		tc := NewTC(g)
+		h := NewThreeHop(g)
+		x := NewSSPI(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				a := tc.Reaches(graph.NodeID(u), graph.NodeID(v))
+				if h.Reaches(graph.NodeID(u), graph.NodeID(v)) != a {
+					return false
+				}
+				if x.Reaches(graph.NodeID(u), graph.NodeID(v)) != a {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChainPositionsConsistent(t *testing.T) {
+	// Positions on the same chain are totally ordered by reachability.
+	r := rand.New(rand.NewSource(405))
+	cfg := &quick.Config{MaxCount: 40, Rand: r}
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		g := randDAG(rr, 2+rr.Intn(30), 2+rr.Intn(80))
+		h := NewThreeHop(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				cu, su := h.Position(graph.NodeID(u))
+				cv, sv := h.Position(graph.NodeID(v))
+				if cu == cv && su < sv && !h.Reaches(graph.NodeID(u), graph.NodeID(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

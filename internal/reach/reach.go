@@ -1,0 +1,41 @@
+// Package reach implements the reachability indexes the paper's engines
+// rely on: the 3-hop index (Jin et al., SIGMOD'09) with the contour
+// merging of GTEA (Procedure 2 / Proposition 7), a bitset transitive
+// closure used as the testing oracle, and SSPI (Chen et al., VLDB'05)
+// used by TwigStackD.
+//
+// All indexes answer *strict* reachability — "is there a non-empty path
+// from u to v" — which is the ancestor-descendant relationship of the
+// paper's data model. Cyclic graphs are handled through SCC
+// condensation: a node strictly reaches itself exactly when its SCC is
+// nontrivial.
+package reach
+
+import "gtpq/internal/graph"
+
+// Index answers strict reachability queries on a fixed graph.
+type Index interface {
+	// Reaches reports whether there is a non-empty path from u to v.
+	Reaches(u, v graph.NodeID) bool
+	// Stats returns the index's lookup counters (never nil).
+	Stats() *Stats
+}
+
+// Stats counts index work for the I/O-cost experiments (Fig 10): every
+// element retrieved from a successor/predecessor list (or an SSPI
+// surplus list) increments Lookups.
+type Stats struct {
+	// Lookups is the number of index elements examined.
+	Lookups int64
+	// Queries is the number of reachability questions asked.
+	Queries int64
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Lookups += other.Lookups
+	s.Queries += other.Queries
+}

@@ -1,0 +1,442 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/graph"
+)
+
+// randDAG builds a random DAG: edges only from lower to higher ids.
+func randDAG(r *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode("n", nil)
+	}
+	for e := 0; e < m; e++ {
+		u := r.Intn(n - 1)
+		v := u + 1 + r.Intn(n-u-1)
+		g.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	g.Freeze()
+	return g
+}
+
+// randDigraph builds a random directed graph that may contain cycles and
+// self-loops.
+func randDigraph(r *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n, m)
+	for i := 0; i < n; i++ {
+		g.AddNode("n", nil)
+	}
+	for e := 0; e < m; e++ {
+		g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
+	}
+	g.Freeze()
+	return g
+}
+
+// bruteReaches is an index-free strict reachability check.
+func bruteReaches(g *graph.Graph, u, v graph.NodeID) bool {
+	return graph.ReachableFrom(g, u)[v]
+}
+
+func TestTCOnDiamond(t *testing.T) {
+	g := graph.New(4, 4)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	d := g.AddNode("d", nil)
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(b, d)
+	g.AddEdge(c, d)
+	g.Freeze()
+	tc := NewTC(g)
+	if !tc.Reaches(a, d) || !tc.Reaches(a, b) || tc.Reaches(d, a) || tc.Reaches(a, a) {
+		t.Error("TC diamond reachability wrong")
+	}
+}
+
+func TestTCOnCycle(t *testing.T) {
+	g := graph.New(3, 3)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(a, b)
+	g.AddEdge(b, a)
+	g.AddEdge(b, c)
+	g.Freeze()
+	tc := NewTC(g)
+	if !tc.Reaches(a, a) || !tc.Reaches(b, b) {
+		t.Error("cycle nodes must strictly reach themselves")
+	}
+	if tc.Reaches(c, c) || tc.Reaches(c, a) {
+		t.Error("c reaches nothing")
+	}
+	if !tc.Reaches(a, c) {
+		t.Error("a must reach c")
+	}
+}
+
+func TestTCMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := randDigraph(r, 2+r.Intn(30), 2+r.Intn(90))
+		tc := NewTC(g)
+		for u := 0; u < g.N(); u++ {
+			ru := graph.ReachableFrom(g, graph.NodeID(u))
+			for v := 0; v < g.N(); v++ {
+				want := ru[graph.NodeID(v)]
+				if got := tc.Reaches(graph.NodeID(u), graph.NodeID(v)); got != want {
+					t.Fatalf("trial %d: TC.Reaches(%d,%d)=%v want %v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestChainDecomposition(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		g := randDAG(r, 2+r.Intn(40), 2+r.Intn(120))
+		cond := graph.Condense(g)
+		chains, chainOf, sidOf := chainDecompose(cond.Out, cond.NumSCC())
+		covered := 0
+		for cid, chain := range chains {
+			for i, s := range chain {
+				covered++
+				if chainOf[s] != int32(cid) || sidOf[s] != int32(i) {
+					t.Fatalf("position bookkeeping wrong for scc %d", s)
+				}
+				if i > 0 {
+					// Consecutive chain members must be DAG edges.
+					prev := chain[i-1]
+					found := false
+					for _, w := range cond.Out[prev] {
+						if w == s {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("chain %d: %d -> %d is not a DAG edge", cid, prev, s)
+					}
+				}
+			}
+		}
+		if covered != cond.NumSCC() {
+			t.Fatalf("chains cover %d of %d sccs", covered, cond.NumSCC())
+		}
+	}
+}
+
+func TestChainCoverIsMinimalOnKnownGraph(t *testing.T) {
+	// A path a->b->c->d plus edge a->c: min path cover = 2 paths? No:
+	// a,b,c,d is one path using only path edges, so 1 chain.
+	g := graph.New(4, 4)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	d := g.AddNode("d", nil)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, d)
+	g.AddEdge(a, c)
+	g.Freeze()
+	h := NewThreeHop(g)
+	if h.NumChains() != 1 {
+		t.Errorf("NumChains = %d, want 1", h.NumChains())
+	}
+}
+
+func TestThreeHopMatchesTCOnDAGs(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		g := randDAG(r, 2+r.Intn(50), 2+r.Intn(150))
+		tc := NewTC(g)
+		h := NewThreeHop(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				want := tc.Reaches(graph.NodeID(u), graph.NodeID(v))
+				got := h.Reaches(graph.NodeID(u), graph.NodeID(v))
+				if got != want {
+					t.Fatalf("trial %d: ThreeHop.Reaches(%d,%d)=%v want %v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestThreeHopMatchesTCOnCyclicGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		g := randDigraph(r, 2+r.Intn(40), 2+r.Intn(120))
+		tc := NewTC(g)
+		h := NewThreeHop(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				want := tc.Reaches(graph.NodeID(u), graph.NodeID(v))
+				got := h.Reaches(graph.NodeID(u), graph.NodeID(v))
+				if got != want {
+					t.Fatalf("trial %d: ThreeHop.Reaches(%d,%d)=%v want %v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSSPIMatchesTC(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = randDAG(r, 2+r.Intn(40), 2+r.Intn(120))
+		} else {
+			g = randDigraph(r, 2+r.Intn(40), 2+r.Intn(120))
+		}
+		tc := NewTC(g)
+		x := NewSSPI(g)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				want := tc.Reaches(graph.NodeID(u), graph.NodeID(v))
+				got := x.Reaches(graph.NodeID(u), graph.NodeID(v))
+				if got != want {
+					t.Fatalf("trial %d: SSPI.Reaches(%d,%d)=%v want %v", trial, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// contourWant computes the brute-force truth for the contour questions.
+func contourWant(g *graph.Graph, v graph.NodeID, S []graph.NodeID, dir string) bool {
+	for _, s := range S {
+		if dir == "vToS" && bruteReaches(g, v, s) {
+			return true
+		}
+		if dir == "sToV" && bruteReaches(g, s, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestContoursMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = randDAG(r, 2+r.Intn(35), 2+r.Intn(100))
+		} else {
+			g = randDigraph(r, 2+r.Intn(35), 2+r.Intn(100))
+		}
+		h := NewThreeHop(g)
+		// Random node set S.
+		k := 1 + r.Intn(6)
+		S := make([]graph.NodeID, k)
+		for i := range S {
+			S[i] = graph.NodeID(r.Intn(g.N()))
+		}
+		cp := h.MergePredLists(S)
+		cs := h.MergeSuccLists(S)
+		for v := 0; v < g.N(); v++ {
+			nv := graph.NodeID(v)
+			if got, want := h.ReachesContour(nv, cp), contourWant(g, nv, S, "vToS"); got != want {
+				t.Fatalf("trial %d: ReachesContour(%d, S=%v)=%v want %v", trial, v, S, got, want)
+			}
+			if got, want := h.ContourReaches(cs, nv), contourWant(g, nv, S, "sToV"); got != want {
+				t.Fatalf("trial %d: ContourReaches(S=%v, %d)=%v want %v", trial, S, v, got, want)
+			}
+		}
+	}
+}
+
+func TestOutWalkerCoversSuffixEntries(t *testing.T) {
+	// The walker, fed candidates in descending sid order, must see each
+	// suffix entry exactly once and in total cover the same evidence as
+	// direct contour checks.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		g := randDAG(r, 2+r.Intn(35), 2+r.Intn(100))
+		h := NewThreeHop(g)
+		k := 1 + r.Intn(5)
+		S := make([]graph.NodeID, k)
+		for i := range S {
+			S[i] = graph.NodeID(r.Intn(g.N()))
+		}
+		cp := h.MergePredLists(S)
+
+		// Group all nodes by chain, descending sid.
+		byChain := map[int32][]graph.NodeID{}
+		for v := 0; v < g.N(); v++ {
+			cid, _ := h.Position(graph.NodeID(v))
+			byChain[cid] = append(byChain[cid], graph.NodeID(v))
+		}
+		for _, nodes := range byChain {
+			// Sort descending by sid.
+			for i := 1; i < len(nodes); i++ {
+				for j := i; j > 0; j-- {
+					_, si := h.Position(nodes[j])
+					_, sj := h.Position(nodes[j-1])
+					if si > sj {
+						nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+					} else {
+						break
+					}
+				}
+			}
+			w := h.NewOutWalker()
+			reached := false // inherited along the chain
+			for _, v := range nodes {
+				hit, ambiguous := h.CheckOwn(v, cp)
+				got := reached || hit
+				w.Walk(v, func(cid, sid int32) {
+					if cp.MatchPred(cid, sid) {
+						got = true
+					}
+				})
+				if !got && ambiguous {
+					got = h.ResolveAmbiguous(v, cp)
+				}
+				want := contourWant(g, v, S, "vToS")
+				if got != want {
+					t.Fatalf("walker check for %d: got %v want %v", v, got, want)
+				}
+				if got {
+					reached = true
+				}
+			}
+		}
+	}
+}
+
+func TestInWalkerCoversPrefixEntries(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		g := randDAG(r, 2+r.Intn(35), 2+r.Intn(100))
+		h := NewThreeHop(g)
+		k := 1 + r.Intn(5)
+		S := make([]graph.NodeID, k)
+		for i := range S {
+			S[i] = graph.NodeID(r.Intn(g.N()))
+		}
+		cs := h.MergeSuccLists(S)
+
+		byChain := map[int32][]graph.NodeID{}
+		for v := 0; v < g.N(); v++ {
+			cid, _ := h.Position(graph.NodeID(v))
+			byChain[cid] = append(byChain[cid], graph.NodeID(v))
+		}
+		for _, nodes := range byChain {
+			// Ascending sid.
+			for i := 1; i < len(nodes); i++ {
+				for j := i; j > 0; j-- {
+					_, si := h.Position(nodes[j])
+					_, sj := h.Position(nodes[j-1])
+					if si < sj {
+						nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+					} else {
+						break
+					}
+				}
+			}
+			w := h.NewInWalker()
+			reached := false
+			for _, v := range nodes {
+				hit, ambiguous := h.CheckOwnSucc(cs, v)
+				got := reached || hit
+				w.Walk(v, func(cid, sid int32) {
+					if cs.MatchSucc(cid, sid) {
+						got = true
+					}
+				})
+				if !got && ambiguous {
+					got = h.ResolveAmbiguousSucc(cs, v)
+				}
+				want := contourWant(g, v, S, "sToV")
+				if got != want {
+					t.Fatalf("walker check for %d: got %v want %v", v, got, want)
+				}
+				if got {
+					reached = true
+				}
+			}
+		}
+	}
+}
+
+func TestContourSizeBoundedByChains(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := randDAG(r, 60, 150)
+	h := NewThreeHop(g)
+	S := make([]graph.NodeID, 20)
+	for i := range S {
+		S[i] = graph.NodeID(r.Intn(g.N()))
+	}
+	cp := h.MergePredLists(S)
+	if cp.Size() > h.NumChains() {
+		t.Errorf("contour size %d exceeds chain count %d", cp.Size(), h.NumChains())
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	g := randDAG(r, 30, 90)
+	h := NewThreeHop(g)
+	h.Stats().Reset()
+	h.Reaches(0, graph.NodeID(g.N()-1))
+	if h.Stats().Queries != 1 {
+		t.Errorf("Queries = %d, want 1", h.Stats().Queries)
+	}
+	var s Stats
+	s.Add(*h.Stats())
+	if s.Queries != 1 {
+		t.Error("Stats.Add failed")
+	}
+}
+
+func TestThreeHopIndexSmallerThanTC(t *testing.T) {
+	// On a path graph the 3-hop index should be essentially empty: one
+	// chain covers everything.
+	g := graph.New(100, 99)
+	for i := 0; i < 100; i++ {
+		g.AddNode("n", nil)
+	}
+	for i := 0; i < 99; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g.Freeze()
+	h := NewThreeHop(g)
+	if h.NumChains() != 1 {
+		t.Errorf("path graph should be one chain, got %d", h.NumChains())
+	}
+	if h.IndexSize() != 0 {
+		t.Errorf("path graph should need no list entries, got %d", h.IndexSize())
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	g := graph.New(0, 0)
+	g.Freeze()
+	h := NewThreeHop(g)
+	if h.NumChains() != 0 {
+		t.Errorf("empty graph chains = %d", h.NumChains())
+	}
+
+	g2 := graph.New(1, 0)
+	v := g2.AddNode("x", nil)
+	g2.Freeze()
+	h2 := NewThreeHop(g2)
+	if h2.Reaches(v, v) {
+		t.Error("singleton without self-loop must not reach itself")
+	}
+	g3 := graph.New(1, 1)
+	w := g3.AddNode("x", nil)
+	g3.AddEdge(w, w)
+	g3.Freeze()
+	h3 := NewThreeHop(g3)
+	if !h3.Reaches(w, w) {
+		t.Error("self-loop node must reach itself")
+	}
+}

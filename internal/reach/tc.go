@@ -1,0 +1,63 @@
+package reach
+
+import (
+	"fmt"
+
+	"gtpq/internal/graph"
+)
+
+// TC is a bitset transitive closure over the SCC condensation. It is the
+// ground-truth oracle for the other indexes and the reference evaluator;
+// memory is quadratic in the SCC count, so construction refuses graphs
+// beyond a safety limit.
+type TC struct {
+	cond  *graph.Condensation
+	words int
+	rows  []uint64 // NumSCC() rows of `words` words; bit w set in row s iff s reaches w (s != w)
+	stats Stats
+}
+
+// tcLimit bounds the SCC count a TC will be built for (~50 MB of bits).
+const tcLimit = 20000
+
+// NewTC builds the transitive closure of g. It panics when the graph is
+// too large — the TC is a testing oracle, not a production index.
+func NewTC(g *graph.Graph) *TC {
+	cond := graph.Condense(g)
+	n := cond.NumSCC()
+	if n > tcLimit {
+		panic(fmt.Sprintf("reach: TC limited to %d SCCs, graph has %d", tcLimit, n))
+	}
+	words := (n + 63) / 64
+	t := &TC{cond: cond, words: words, rows: make([]uint64, n*words)}
+	// Reverse topological order: successors first.
+	for i := len(cond.Topo) - 1; i >= 0; i-- {
+		s := cond.Topo[i]
+		row := t.row(s)
+		for _, w := range cond.Out[s] {
+			row[w/64] |= 1 << uint(w%64)
+			wr := t.row(w)
+			for k := range row {
+				row[k] |= wr[k]
+			}
+		}
+	}
+	return t
+}
+
+func (t *TC) row(s int32) []uint64 {
+	return t.rows[int(s)*t.words : (int(s)+1)*t.words]
+}
+
+// Reaches reports whether there is a non-empty path from u to v.
+func (t *TC) Reaches(u, v graph.NodeID) bool {
+	t.stats.Queries++
+	su, sv := t.cond.Comp[u], t.cond.Comp[v]
+	if su == sv {
+		return t.cond.Nontrivial(su)
+	}
+	return t.row(su)[sv/64]&(1<<uint(sv%64)) != 0
+}
+
+// Stats returns the lookup counters.
+func (t *TC) Stats() *Stats { return &t.stats }

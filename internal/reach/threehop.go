@@ -1,0 +1,281 @@
+package reach
+
+import (
+	"gtpq/internal/graph"
+)
+
+// entry is one element of a 3-hop successor/predecessor list: a chain
+// position (cid, sid) on a chain different from the owner's.
+type entry struct {
+	cid int32
+	sid int32
+}
+
+// ThreeHop is the 3-hop reachability index of Jin et al. used by GTEA.
+//
+// The graph is condensed to a DAG, covered by disjoint chains (minimum
+// path cover), and every SCC s keeps
+//
+//	Lout(s): per foreign chain, the smallest position s reaches that is
+//	         not already derivable from s's successor on its own chain;
+//	Lin(s):  per foreign chain, the largest position reaching s that is
+//	         not derivable from s's predecessor on its own chain.
+//
+// The complete successor list X_v of the paper is the union of Lout over
+// the suffix of v's chain starting at v (plus v's own position); the
+// complete predecessor list Y_v is the union of Lin over the prefix
+// ending at v. Skip pointers jump over positions with empty lists.
+type ThreeHop struct {
+	g    *graph.Graph
+	cond *graph.Condensation
+
+	chains  [][]int32 // chain -> scc ids in order
+	chainOf []int32   // per scc
+	sidOf   []int32   // per scc
+
+	lout [][]entry // per scc
+	lin  [][]entry // per scc
+
+	// skipOut[s]: the scc at the smallest position > sid(s) on s's chain
+	// with a non-empty Lout, or -1. skipIn is symmetric (largest position
+	// < sid(s) with non-empty Lin).
+	skipOut []int32
+	skipIn  []int32
+
+	stats Stats
+}
+
+// NewThreeHop builds the index for g. Construction is O(total reachable
+// chain entries) via sparse per-SCC contour maps that are freed as soon
+// as every dependent has consumed them.
+func NewThreeHop(g *graph.Graph) *ThreeHop {
+	g.Freeze()
+	cond := graph.Condense(g)
+	n := cond.NumSCC()
+	h := &ThreeHop{g: g, cond: cond}
+	h.chains, h.chainOf, h.sidOf = chainDecompose(cond.Out, n)
+	h.lout = make([][]entry, n)
+	h.lin = make([][]entry, n)
+	h.buildOut()
+	h.buildIn()
+	h.buildSkips()
+	return h
+}
+
+// buildOut computes Lout by a reverse-topological sweep: ent(s) maps each
+// chain to the smallest position reachable from s (inclusive of s). The
+// map for s is dropped once all of s's predecessors have consumed it.
+func (h *ThreeHop) buildOut() {
+	n := h.cond.NumSCC()
+	ent := make([]map[int32]int32, n)
+	pending := make([]int32, n) // remaining in-neighbors that still need ent[s]
+	for s := 0; s < n; s++ {
+		pending[s] = int32(len(h.cond.In[s]))
+	}
+	topo := h.cond.Topo
+	for i := len(topo) - 1; i >= 0; i-- {
+		s := topo[i]
+		m := map[int32]int32{h.chainOf[s]: h.sidOf[s]}
+		for _, w := range h.cond.Out[s] {
+			for c, sid := range ent[w] {
+				if cur, ok := m[c]; !ok || sid < cur {
+					m[c] = sid
+				}
+			}
+		}
+		ent[s] = m
+		// Lout(s): entries on foreign chains not derivable from the chain
+		// successor. The chain successor (if any) is one of s's DAG
+		// out-neighbors, so its ent map is still alive here.
+		succ := h.chainSucc(s)
+		for c, sid := range m {
+			if c == h.chainOf[s] {
+				continue
+			}
+			if succ != -1 {
+				if ssid, ok := ent[succ][c]; ok && ssid <= sid {
+					continue // derivable via the chain successor
+				}
+			}
+			h.lout[s] = append(h.lout[s], entry{cid: c, sid: sid})
+		}
+		// Free contour maps nobody will read again.
+		for _, w := range h.cond.Out[s] {
+			pending[w]--
+			if pending[w] == 0 {
+				ent[w] = nil
+			}
+		}
+		if len(h.cond.In[s]) == 0 {
+			ent[s] = nil
+		}
+	}
+}
+
+// buildIn computes Lin by a forward-topological sweep with ext(s): the
+// largest position per chain that reaches s (inclusive).
+func (h *ThreeHop) buildIn() {
+	n := h.cond.NumSCC()
+	ext := make([]map[int32]int32, n)
+	pending := make([]int32, n)
+	for s := 0; s < n; s++ {
+		pending[s] = int32(len(h.cond.Out[s]))
+	}
+	for _, s := range h.cond.Topo {
+		m := map[int32]int32{h.chainOf[s]: h.sidOf[s]}
+		for _, p := range h.cond.In[s] {
+			for c, sid := range ext[p] {
+				if cur, ok := m[c]; !ok || sid > cur {
+					m[c] = sid
+				}
+			}
+		}
+		ext[s] = m
+		pred := h.chainPred(s)
+		for c, sid := range m {
+			if c == h.chainOf[s] {
+				continue
+			}
+			if pred != -1 {
+				if psid, ok := ext[pred][c]; ok && psid >= sid {
+					continue
+				}
+			}
+			h.lin[s] = append(h.lin[s], entry{cid: c, sid: sid})
+		}
+		for _, p := range h.cond.In[s] {
+			pending[p]--
+			if pending[p] == 0 {
+				ext[p] = nil
+			}
+		}
+		if len(h.cond.Out[s]) == 0 {
+			ext[s] = nil
+		}
+	}
+}
+
+func (h *ThreeHop) buildSkips() {
+	n := h.cond.NumSCC()
+	h.skipOut = make([]int32, n)
+	h.skipIn = make([]int32, n)
+	for _, chain := range h.chains {
+		next := int32(-1)
+		for i := len(chain) - 1; i >= 0; i-- {
+			s := chain[i]
+			h.skipOut[s] = next
+			if len(h.lout[s]) > 0 {
+				next = s
+			}
+		}
+		prev := int32(-1)
+		for _, s := range chain {
+			h.skipIn[s] = prev
+			if len(h.lin[s]) > 0 {
+				prev = s
+			}
+		}
+	}
+}
+
+func (h *ThreeHop) chainSucc(s int32) int32 {
+	chain := h.chains[h.chainOf[s]]
+	i := h.sidOf[s]
+	if int(i)+1 < len(chain) {
+		return chain[i+1]
+	}
+	return -1
+}
+
+func (h *ThreeHop) chainPred(s int32) int32 {
+	if i := h.sidOf[s]; i > 0 {
+		return h.chains[h.chainOf[s]][i-1]
+	}
+	return -1
+}
+
+// SCCOf returns the condensation component of v.
+func (h *ThreeHop) SCCOf(v graph.NodeID) int32 { return h.cond.Comp[v] }
+
+// Cond exposes the condensation (engines need Nontrivial and neighbor
+// sets for the rare strictness fallbacks).
+func (h *ThreeHop) Cond() *graph.Condensation { return h.cond }
+
+// NumChains returns the number of chains in the cover.
+func (h *ThreeHop) NumChains() int { return len(h.chains) }
+
+// IndexSize returns the total number of Lin/Lout entries — the paper's
+// |Lin| + |Lout| measure.
+func (h *ThreeHop) IndexSize() int {
+	n := 0
+	for _, l := range h.lout {
+		n += len(l)
+	}
+	for _, l := range h.lin {
+		n += len(l)
+	}
+	return n
+}
+
+// Stats returns the lookup counters.
+func (h *ThreeHop) Stats() *Stats { return &h.stats }
+
+// Reaches reports whether there is a non-empty path from u to v,
+// following the paper's three-step 3-hop query: same-chain positions
+// compare by sequence number; otherwise the complete successor list of u
+// is matched against the complete predecessor list of v.
+func (h *ThreeHop) Reaches(u, v graph.NodeID) bool {
+	h.stats.Queries++
+	su, sv := h.cond.Comp[u], h.cond.Comp[v]
+	if su == sv {
+		return h.cond.Nontrivial(su)
+	}
+	return h.sccReaches(su, sv)
+}
+
+// sccReaches answers reachability between two distinct SCCs (strict and
+// inclusive coincide there).
+func (h *ThreeHop) sccReaches(su, sv int32) bool {
+	if h.chainOf[su] == h.chainOf[sv] {
+		return h.sidOf[su] < h.sidOf[sv]
+	}
+	// X_su as a per-chain minimum.
+	x := map[int32]int32{h.chainOf[su]: h.sidOf[su]}
+	for s := h.firstOut(su); s != -1; s = h.skipOut[s] {
+		for _, e := range h.lout[s] {
+			h.stats.Lookups++
+			if cur, ok := x[e.cid]; !ok || e.sid < cur {
+				x[e.cid] = e.sid
+			}
+		}
+	}
+	// Y_sv scanned against X.
+	if sid, ok := x[h.chainOf[sv]]; ok && sid <= h.sidOf[sv] {
+		return true
+	}
+	for s := h.firstIn(sv); s != -1; s = h.skipIn[s] {
+		for _, e := range h.lin[s] {
+			h.stats.Lookups++
+			if sid, ok := x[e.cid]; ok && sid <= e.sid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstOut returns s itself when it has a non-empty Lout, otherwise the
+// first later position with one.
+func (h *ThreeHop) firstOut(s int32) int32 {
+	if len(h.lout[s]) > 0 {
+		return s
+	}
+	return h.skipOut[s]
+}
+
+func (h *ThreeHop) firstIn(s int32) int32 {
+	if len(h.lin[s]) > 0 {
+		return s
+	}
+	return h.skipIn[s]
+}

@@ -1,0 +1,288 @@
+// Package twig2stack implements a bottom-up twig evaluator in the style
+// of Twig2Stack (Chen et al., VLDB'06): document nodes are processed in
+// postorder, each maintaining per-query-node match structures
+// (the hierarchical-stack analogue), so path solutions are never
+// enumerated; twig matches are read off the accumulated structures at
+// the end. The trade-off §5.1 observes — structure maintenance overhead
+// versus no path enumeration — is preserved.
+//
+// Like TwigStack, it evaluates ViaRef-free twigs over the document
+// forest; the same decomposition/join wrapper is applied for
+// graph-shaped data.
+package twig2stack
+
+import (
+	"sort"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+)
+
+// Stats mirrors the paper's I/O-cost metrics.
+type Stats struct {
+	Input        int64
+	Intermediate int64
+}
+
+// Engine evaluates conjunctive TPQs bottom-up over the document forest.
+type Engine struct {
+	G    *graph.Graph
+	D    *graph.DocOrder
+	stat Stats
+}
+
+// New builds a Twig2Stack engine for g.
+func New(g *graph.Graph) *Engine {
+	g.Freeze()
+	return &Engine{G: g, D: graph.NewDocOrder(g)}
+}
+
+// Stats returns the counters of the most recent Eval.
+func (e *Engine) Stats() Stats { return e.stat }
+
+// match records one document node matching a query node, with the
+// matched children options per in-component query child (the edges of
+// the hierarchical match structure).
+type match struct {
+	v graph.NodeID
+	// branches[i] lists the matches of the i-th query child linked under
+	// this node.
+	branches [][]*match
+}
+
+// Eval evaluates the conjunctive query q with the same decomposition
+// strategy as TwigStack: per-twig bottom-up evaluation, then hash joins
+// across ViaRef edges.
+func (e *Engine) Eval(q *core.Query) *core.Answer {
+	e.stat = Stats{}
+	ans := core.NewAnswer(q.Outputs())
+	comps, refs := splitAtRefs(q)
+
+	compTuples := make([][][]graph.NodeID, len(comps))
+	compNodes := make([][]int, len(comps))
+	for i, c := range comps {
+		compTuples[i], compNodes[i] = e.evalTwig(q, c)
+		if len(compTuples[i]) == 0 {
+			ans.Canonicalize()
+			return ans
+		}
+	}
+
+	// Join across refs into full assignments.
+	n := len(q.Nodes)
+	acc := make([][]graph.NodeID, 0, len(compTuples[0]))
+	for _, t := range compTuples[0] {
+		a := make([]graph.NodeID, n)
+		for i := range a {
+			a[i] = -1
+		}
+		for i, u := range compNodes[0] {
+			a[u] = t[i]
+		}
+		acc = append(acc, a)
+	}
+	for _, ref := range refs {
+		byRoot := make(map[graph.NodeID][][]graph.NodeID)
+		pos := -1
+		for i, u := range compNodes[ref.childComp] {
+			if u == ref.child {
+				pos = i
+			}
+		}
+		for _, t := range compTuples[ref.childComp] {
+			byRoot[t[pos]] = append(byRoot[t[pos]], t)
+		}
+		var next [][]graph.NodeID
+		var crossBuf []graph.NodeID
+		for _, a := range acc {
+			src := a[ref.parent]
+			if src < 0 {
+				continue
+			}
+			crossBuf = e.G.CrossTargets(src, crossBuf[:0])
+			for _, w := range crossBuf {
+				for _, t := range byRoot[w] {
+					merged := append([]graph.NodeID(nil), a...)
+					for i, u := range compNodes[ref.childComp] {
+						merged[u] = t[i]
+					}
+					next = append(next, merged)
+					e.stat.Intermediate += int64(n)
+				}
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			break
+		}
+	}
+
+	for _, a := range acc {
+		row := make([]graph.NodeID, len(ans.Out))
+		for i, o := range ans.Out {
+			row[i] = a[o]
+		}
+		ans.Add(row)
+	}
+	ans.Canonicalize()
+	return ans
+}
+
+type twigComp struct {
+	root  int
+	nodes []int
+}
+
+type refEdge struct {
+	parent, child int
+	childComp     int
+}
+
+func splitAtRefs(q *core.Query) ([]twigComp, []refEdge) {
+	var comps []twigComp
+	var refs []refEdge
+	var build func(u, ci int)
+	build = func(u, ci int) {
+		comps[ci].nodes = append(comps[ci].nodes, u)
+		for _, c := range q.Nodes[u].Children {
+			if q.Nodes[c].ViaRef {
+				nci := len(comps)
+				comps = append(comps, twigComp{root: c})
+				refs = append(refs, refEdge{parent: u, child: c, childComp: nci})
+				build(c, nci)
+			} else {
+				build(c, ci)
+			}
+		}
+	}
+	comps = append(comps, twigComp{root: q.Root})
+	build(q.Root, 0)
+	return comps, refs
+}
+
+// evalTwig processes the document forest bottom-up. For each document
+// node it maintains, per query node, the list of matches found in the
+// node's subtree (the hierarchical stacks); a node matches a query node
+// when its own subtree supplies matches for every query child.
+func (e *Engine) evalTwig(q *core.Query, comp twigComp) ([][]graph.NodeID, []int) {
+	in := map[int]bool{}
+	for _, u := range comp.nodes {
+		in[u] = true
+	}
+	kids := map[int][]int{}
+	for _, u := range comp.nodes {
+		for _, c := range q.Nodes[u].Children {
+			if in[c] {
+				kids[u] = append(kids[u], c)
+			}
+		}
+	}
+
+	// pending[u] for a document subtree: matches of query node u found
+	// inside it. Represented per document node during the postorder walk.
+	type nodeState map[int][]*match
+
+	var walk func(v graph.NodeID) nodeState
+	walk = func(v graph.NodeID) nodeState {
+		e.stat.Input++
+		// Gather child states.
+		var kidStates []nodeState
+		var kidBuf []graph.NodeID
+		kidBuf = e.G.TreeChildren(v, kidBuf)
+		for _, w := range kidBuf {
+			kidStates = append(kidStates, walk(w))
+		}
+		merged := nodeState{}
+		for _, ks := range kidStates {
+			for u, ms := range ks {
+				merged[u] = append(merged[u], ms...)
+			}
+		}
+		// Does v itself match any component query node?
+		for _, u := range comp.nodes {
+			if !q.Nodes[u].Attr.Matches(e.G, v) {
+				continue
+			}
+			ok := true
+			m := &match{v: v, branches: make([][]*match, len(kids[u]))}
+			for i, c := range kids[u] {
+				var opts []*match
+				if q.Nodes[c].PEdge == core.PC {
+					// Direct document children only.
+					for ki, w := range kidBuf {
+						for _, cm := range kidStates[ki][c] {
+							if cm.v == w {
+								opts = append(opts, cm)
+							}
+						}
+					}
+				} else {
+					opts = merged[c]
+				}
+				if len(opts) == 0 {
+					ok = false
+					break
+				}
+				m.branches[i] = opts
+			}
+			if ok {
+				merged[u] = append(merged[u], m)
+				e.stat.Intermediate++
+			}
+		}
+		return merged
+	}
+
+	var roots []*match
+	for _, r := range graph.Roots(e.G) {
+		st := walk(r)
+		roots = append(roots, st[comp.root]...)
+	}
+
+	// Enumerate twig matches from the match structures: the tuples of a
+	// match are the Cartesian product of its branches' tuples, aligned
+	// with the component preorder (node, then child subtrees in order).
+	order := comp.nodes
+	memo := map[*match][][]graph.NodeID{}
+	var tuplesOf func(u int, m *match) [][]graph.NodeID
+	tuplesOf = func(u int, m *match) [][]graph.NodeID {
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		acc := [][]graph.NodeID{{m.v}}
+		for i, c := range kids[u] {
+			var branch [][]graph.NodeID
+			for _, cm := range m.branches[i] {
+				branch = append(branch, tuplesOf(c, cm)...)
+			}
+			next := make([][]graph.NodeID, 0, len(acc)*len(branch))
+			for _, a := range acc {
+				for _, b := range branch {
+					row := make([]graph.NodeID, 0, len(a)+len(b))
+					row = append(row, a...)
+					row = append(row, b...)
+					next = append(next, row)
+				}
+			}
+			acc = next
+		}
+		memo[m] = acc
+		e.stat.Intermediate += int64(len(acc))
+		return acc
+	}
+	var result [][]graph.NodeID
+	for _, rm := range roots {
+		result = append(result, tuplesOf(comp.root, rm)...)
+	}
+	// Deterministic order for the caller.
+	sort.Slice(result, func(i, j int) bool {
+		a, b := result[i], result[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return result, order
+}

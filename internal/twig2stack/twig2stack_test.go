@@ -1,0 +1,137 @@
+package twig2stack
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+func TestBottomUpBasics(t *testing.T) {
+	// root -> a -> (b, x -> c)
+	g := graph.New(0, 0)
+	r := g.AddNode("root", nil)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	x := g.AddNode("x", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(r, a)
+	g.AddEdge(a, b)
+	g.AddEdge(a, x)
+	g.AddEdge(x, c)
+	g.Freeze()
+
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qb := q.AddNode("b", core.Backbone, qa, core.PC, core.Label("b"))
+	qc := q.AddNode("c", core.Backbone, qa, core.AD, core.Label("c"))
+	q.SetOutput(qa)
+	q.SetOutput(qb)
+	q.SetOutput(qc)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 {
+		t.Fatalf("answer = %s", ans)
+	}
+	row := ans.Tuples[0]
+	if row[0] != a || row[1] != b || row[2] != c {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestMatchSharingAcrossAncestors(t *testing.T) {
+	// Both a1 and a2 (nested) match a//b; the shared b match structure
+	// must serve both without double counting.
+	g := graph.New(0, 0)
+	a1 := g.AddNode("a", nil)
+	a2 := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	g.AddEdge(a1, a2)
+	g.AddEdge(a2, b)
+	g.Freeze()
+
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qb := q.AddNode("b", core.Backbone, qa, core.AD, core.Label("b"))
+	q.SetOutput(qa)
+	q.SetOutput(qb)
+	ans := New(g).Eval(q)
+	if ans.Len() != 2 {
+		t.Fatalf("answer = %s, want (a1,b) and (a2,b)", ans)
+	}
+}
+
+func TestAgainstOracleOnRandomForests(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 30; trial++ {
+		g := graph.New(0, 0)
+		n := 8 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			g.AddNode(labels[r.Intn(3)], nil)
+		}
+		for i := 1; i < n; i++ {
+			if r.Intn(7) == 0 {
+				continue
+			}
+			g.AddEdge(graph.NodeID(r.Intn(i)), graph.NodeID(i))
+		}
+		g.Freeze()
+		q := core.NewQuery()
+		a := q.AddRoot("a", core.Label("a"))
+		b := q.AddNode("b", core.Backbone, a, core.AD, core.Label("b"))
+		c := q.AddNode("c", core.Backbone, a, core.PC, core.Label("c"))
+		_ = b
+		_ = c
+		for _, nd := range q.Nodes {
+			q.SetOutput(nd.ID)
+		}
+		want := core.EvalNaive(g, reach.NewTC(g), q)
+		got := New(g).Eval(q)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d: want %sgot %s", trial, want, got)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	g.AddEdge(a, g.AddNode("b", nil))
+	g.Freeze()
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qb := q.AddNode("b", core.Backbone, qa, core.AD, core.Label("b"))
+	q.SetOutput(qb)
+	e := New(g)
+	e.Eval(q)
+	if e.Stats().Input == 0 || e.Stats().Intermediate == 0 {
+		t.Errorf("stats not populated: %+v", e.Stats())
+	}
+}
+
+func TestRefDecompositionAgree(t *testing.T) {
+	// Same shape as the twigstack ref test — the wrapper is shared
+	// behaviour that must agree across tree engines.
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	ref := g.AddNode("ref", nil)
+	tn := g.AddNode("t", nil)
+	u := g.AddNode("u", nil)
+	g.AddEdge(a, ref)
+	g.AddCrossEdge(ref, tn)
+	g.AddEdge(tn, u)
+	g.Freeze()
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qr := q.AddNode("ref", core.Backbone, qa, core.PC, core.Label("ref"))
+	qt := q.AddNode("t", core.Backbone, qr, core.PC, core.Label("t"))
+	q.SetViaRef(qt)
+	qu := q.AddNode("u", core.Backbone, qt, core.PC, core.Label("u"))
+	q.SetOutput(qu)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != u {
+		t.Fatalf("answer = %s", ans)
+	}
+}

@@ -1,0 +1,454 @@
+// Package twigstack implements TwigStack (Bruno, Koudas, Srivastava,
+// SIGMOD'02), the classical holistic twig join over tree-structured data
+// with region (interval) encoding, and the decompose-at-IDREF wrapper
+// the paper uses to run it over graph-shaped XML (§5.1): the query is
+// split into tree twigs at reference edges, each twig is evaluated
+// holistically, and the twig results are hash-joined across the
+// reference edges.
+package twigstack
+
+import (
+	"sort"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+)
+
+// Stats mirrors the paper's I/O-cost metrics for the baseline.
+type Stats struct {
+	// Input counts stream elements read.
+	Input int64
+	// Intermediate counts elements of path solutions, merged twig
+	// tuples, and cross-reference join tuples.
+	Intermediate int64
+}
+
+// Engine evaluates conjunctive TPQs over the document forest of a graph
+// (tree edges), decomposing at ViaRef edges and joining through the
+// graph's cross edges.
+type Engine struct {
+	G    *graph.Graph
+	D    *graph.DocOrder
+	stat Stats
+}
+
+// New builds a TwigStack engine for g.
+func New(g *graph.Graph) *Engine {
+	g.Freeze()
+	return &Engine{G: g, D: graph.NewDocOrder(g)}
+}
+
+// Stats returns the counters of the most recent Eval.
+func (e *Engine) Stats() Stats { return e.stat }
+
+// Eval evaluates the conjunctive query q: every query node is required
+// (structural predicates must be conjunctive), matches are projected
+// onto the output nodes.
+func (e *Engine) Eval(q *core.Query) *core.Answer {
+	e.stat = Stats{}
+	ans := core.NewAnswer(q.Outputs())
+	comps, refEdges := splitAtRefs(q)
+
+	// Evaluate each twig on the forest.
+	compTuples := make([][]assignment, len(comps))
+	for i, c := range comps {
+		compTuples[i] = e.evalTwig(q, c)
+		if len(compTuples[i]) == 0 {
+			ans.Canonicalize()
+			return ans
+		}
+	}
+	// Join components across reference edges in dependency order
+	// (components form a tree; comps[0] holds the query root).
+	joined := e.joinComponents(q, comps, refEdges, compTuples)
+
+	// Project onto output nodes.
+	outPos := make([]int, 0, len(ans.Out))
+	for _, o := range ans.Out {
+		outPos = append(outPos, o)
+	}
+	for _, t := range joined {
+		row := make([]graph.NodeID, len(outPos))
+		for i, o := range outPos {
+			row[i] = t[o]
+		}
+		ans.Add(row)
+	}
+	ans.Canonicalize()
+	return ans
+}
+
+// assignment maps query node id -> data node (dense slice, -1 unset).
+type assignment []graph.NodeID
+
+// twigComp is a maximal ViaRef-free subtree of the query.
+type twigComp struct {
+	root  int
+	nodes []int // preorder
+}
+
+// refEdge joins the ViaRef query edge (parent in one component, child
+// rooting another).
+type refEdge struct {
+	parent, child int
+	childComp     int
+}
+
+func splitAtRefs(q *core.Query) ([]twigComp, []refEdge) {
+	var comps []twigComp
+	var refs []refEdge
+	compOf := make(map[int]int)
+	var build func(u int, ci int)
+	build = func(u int, ci int) {
+		comps[ci].nodes = append(comps[ci].nodes, u)
+		compOf[u] = ci
+		for _, c := range q.Nodes[u].Children {
+			if q.Nodes[c].ViaRef {
+				nci := len(comps)
+				comps = append(comps, twigComp{root: c})
+				// Record the ref before recursing so refs stay in
+				// parent-before-child join order.
+				refs = append(refs, refEdge{parent: u, child: c, childComp: nci})
+				build(c, nci)
+			} else {
+				build(c, ci)
+			}
+		}
+	}
+	comps = append(comps, twigComp{root: q.Root})
+	build(q.Root, 0)
+	return comps, refs
+}
+
+// ---- the holistic twig join proper ----
+
+type stackEntry struct {
+	v         graph.NodeID
+	parentIdx int // top of parent stack at push time, -1 when none
+}
+
+type twigState struct {
+	e     *Engine
+	q     *core.Query
+	comp  *twigComp
+	in    map[int]bool
+	kids  map[int][]int // in-component children
+	strm  map[int][]graph.NodeID
+	ptr   map[int]int
+	stack map[int][]stackEntry
+	// paths[leaf] accumulates the root-to-leaf path solutions; each
+	// solution is aligned with pathNodes[leaf].
+	pathNodes map[int][]int
+	paths     map[int][][]graph.NodeID
+}
+
+// evalTwig runs TwigStack over one ViaRef-free component and returns its
+// twig matches as assignments over the component nodes.
+func (e *Engine) evalTwig(q *core.Query, comp twigComp) []assignment {
+	st := &twigState{
+		e:         e,
+		q:         q,
+		comp:      &comp,
+		in:        map[int]bool{},
+		kids:      map[int][]int{},
+		strm:      map[int][]graph.NodeID{},
+		ptr:       map[int]int{},
+		stack:     map[int][]stackEntry{},
+		pathNodes: map[int][]int{},
+		paths:     map[int][][]graph.NodeID{},
+	}
+	for _, u := range comp.nodes {
+		st.in[u] = true
+	}
+	for _, u := range comp.nodes {
+		var ks []int
+		for _, c := range q.Nodes[u].Children {
+			if st.in[c] {
+				ks = append(ks, c)
+			}
+		}
+		st.kids[u] = ks
+		// Streams: candidates in document order.
+		cands := append([]graph.NodeID(nil), core.Candidates(e.G, q.Nodes[u].Attr)...)
+		sort.Slice(cands, func(i, j int) bool { return e.D.Start[cands[i]] < e.D.Start[cands[j]] })
+		st.strm[u] = cands
+		if len(ks) == 0 {
+			// Record the root-to-leaf path within the component.
+			var path []int
+			for x := u; ; x = q.Nodes[x].Parent {
+				path = append([]int{x}, path...)
+				if x == comp.root {
+					break
+				}
+			}
+			st.pathNodes[u] = path
+		}
+	}
+	st.run()
+	return st.merge()
+}
+
+func (st *twigState) eof(u int) bool { return st.ptr[u] >= len(st.strm[u]) }
+
+func (st *twigState) nextStart(u int) int32 {
+	if st.eof(u) {
+		return 1 << 30
+	}
+	return st.e.D.Start[st.strm[u][st.ptr[u]]]
+}
+
+func (st *twigState) nextEnd(u int) int32 {
+	if st.eof(u) {
+		return 1 << 30
+	}
+	return st.e.D.End[st.strm[u][st.ptr[u]]]
+}
+
+// getNext is the classic TwigStack head-selection: it returns a query
+// node whose next stream element is guaranteed to have descendant
+// matches for the whole subtree (for AD-only twigs).
+func (st *twigState) getNext(u int) int {
+	ks := st.kids[u]
+	if len(ks) == 0 {
+		return u
+	}
+	minC, maxC := -1, -1
+	for _, c := range ks {
+		n := st.getNext(c)
+		if n != c {
+			return n
+		}
+		if minC == -1 || st.nextStart(c) < st.nextStart(minC) {
+			minC = c
+		}
+		if maxC == -1 || st.nextStart(c) > st.nextStart(maxC) {
+			maxC = c
+		}
+	}
+	for !st.eof(u) && st.nextEnd(u) < st.nextStart(maxC) {
+		st.ptr[u]++
+		st.e.stat.Input++
+	}
+	if st.nextStart(u) < st.nextStart(minC) {
+		return u
+	}
+	return minC
+}
+
+func (st *twigState) cleanStack(u int, start int32) {
+	s := st.stack[u]
+	for len(s) > 0 && st.e.D.End[s[len(s)-1].v] < start {
+		s = s[:len(s)-1]
+	}
+	st.stack[u] = s
+}
+
+func (st *twigState) run() {
+	root := st.comp.root
+	for {
+		qact := st.getNext(root)
+		if st.eof(qact) {
+			// getNext found an exhausted subtree. Path solutions for the
+			// other branches (under ancestors already on the stacks) are
+			// still pending, so fall back to processing the globally
+			// smallest remaining stream element — this keeps elements
+			// flowing in document order, preserving the stack invariant.
+			qact = -1
+			for _, u := range st.comp.nodes {
+				if st.eof(u) {
+					continue
+				}
+				if qact == -1 || st.nextStart(u) < st.nextStart(qact) {
+					qact = u
+				}
+			}
+			if qact == -1 {
+				return // every stream drained
+			}
+		}
+		v := st.strm[qact][st.ptr[qact]]
+		vStart := st.e.D.Start[v]
+		parent := st.q.Nodes[qact].Parent
+		isRoot := qact == root
+		if !isRoot {
+			st.cleanStack(parent, vStart)
+		}
+		if isRoot || len(st.stack[parent]) > 0 {
+			st.cleanStack(qact, vStart)
+			pIdx := -1
+			if !isRoot {
+				pIdx = len(st.stack[parent]) - 1
+			}
+			st.stack[qact] = append(st.stack[qact], stackEntry{v: v, parentIdx: pIdx})
+			if len(st.kids[qact]) == 0 {
+				st.emitPaths(qact)
+				st.stack[qact] = st.stack[qact][:len(st.stack[qact])-1]
+			}
+		}
+		st.ptr[qact]++
+		st.e.stat.Input++
+	}
+}
+
+// emitPaths expands the stack encoding into explicit root-to-leaf path
+// solutions for the just-pushed leaf (the blocking/enumeration step of
+// the original algorithm).
+func (st *twigState) emitPaths(leaf int) {
+	pn := st.pathNodes[leaf]
+	cur := make([]graph.NodeID, len(pn))
+	var expand func(qi int, stackIdx int)
+	expand = func(qi int, stackIdx int) {
+		if qi < 0 {
+			sol := append([]graph.NodeID(nil), cur...)
+			st.paths[leaf] = append(st.paths[leaf], sol)
+			st.e.stat.Intermediate += int64(len(sol))
+			return
+		}
+		u := pn[qi]
+		entry := st.stack[u][stackIdx]
+		cur[qi] = entry.v
+		// PC edges: the element below (qi+1) must be a direct child.
+		if qi+1 < len(pn) {
+			c := pn[qi+1]
+			if st.q.Nodes[c].PEdge == core.PC {
+				if st.e.D.Level[cur[qi+1]] != st.e.D.Level[entry.v]+1 {
+					return
+				}
+			}
+		}
+		if qi == 0 {
+			expand(-1, 0)
+			return
+		}
+		// Every entry at or below parentIdx in the parent stack is an
+		// ancestor of entry.v.
+		for i := entry.parentIdx; i >= 0; i-- {
+			expand(qi-1, i)
+		}
+	}
+	expand(len(pn)-1, len(st.stack[leaf])-1)
+}
+
+// merge joins the per-path solution sets into twig matches over the
+// component (the post-processing merge of path solutions).
+func (st *twigState) merge() []assignment {
+	n := len(st.q.Nodes)
+	var leaves []int
+	for leaf := range st.pathNodes {
+		leaves = append(leaves, leaf)
+	}
+	sort.Ints(leaves)
+	if len(leaves) == 0 {
+		return nil
+	}
+	// Start from the first path's solutions, then hash-join each further
+	// path on its shared prefix.
+	bound := map[int]bool{}
+	var result []assignment
+	first := leaves[0]
+	for _, sol := range st.paths[first] {
+		a := make(assignment, n)
+		for i := range a {
+			a[i] = -1
+		}
+		for i, u := range st.pathNodes[first] {
+			a[u] = sol[i]
+		}
+		result = append(result, a)
+	}
+	for _, u := range st.pathNodes[first] {
+		bound[u] = true
+	}
+	for _, leaf := range leaves[1:] {
+		pn := st.pathNodes[leaf]
+		// Shared prefix = already-bound nodes of this path.
+		var shared, fresh []int
+		for i, u := range pn {
+			if bound[u] {
+				shared = append(shared, i)
+			} else {
+				fresh = append(fresh, i)
+			}
+		}
+		// Index new path solutions by shared values.
+		idx := make(map[string][][]graph.NodeID)
+		for _, sol := range st.paths[leaf] {
+			key := keyOf(sol, shared)
+			idx[key] = append(idx[key], sol)
+		}
+		var next []assignment
+		for _, a := range result {
+			probe := make([]graph.NodeID, len(pn))
+			for _, i := range shared {
+				probe[i] = a[pn[i]]
+			}
+			for _, sol := range idx[keyOf(probe, shared)] {
+				b := append(assignment(nil), a...)
+				for _, i := range fresh {
+					b[pn[i]] = sol[i]
+				}
+				next = append(next, b)
+				st.e.stat.Intermediate += int64(len(pn))
+			}
+		}
+		result = next
+		for _, u := range pn {
+			bound[u] = true
+		}
+		if len(result) == 0 {
+			break
+		}
+	}
+	return result
+}
+
+func keyOf(sol []graph.NodeID, idxs []int) string {
+	b := make([]byte, 0, len(idxs)*4)
+	for _, i := range idxs {
+		v := sol[i]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// joinComponents hash-joins component twig matches across ViaRef edges:
+// the data edge from the parent's image to the child component root's
+// image must be a cross edge of the graph.
+func (e *Engine) joinComponents(q *core.Query, comps []twigComp, refs []refEdge, tuples [][]assignment) []assignment {
+	// Merge order: components are created in preorder, so a component's
+	// parent component always precedes it.
+	acc := tuples[0]
+	for _, ref := range refs {
+		// Index child tuples by the image of the child component's root.
+		byRoot := make(map[graph.NodeID][]assignment)
+		for _, t := range tuples[ref.childComp] {
+			byRoot[t[ref.child]] = append(byRoot[t[ref.child]], t)
+		}
+		var next []assignment
+		var crossBuf []graph.NodeID
+		for _, a := range acc {
+			src := a[ref.parent]
+			if src < 0 {
+				continue
+			}
+			crossBuf = e.G.CrossTargets(src, crossBuf[:0])
+			for _, w := range crossBuf {
+				for _, b := range byRoot[w] {
+					merged := append(assignment(nil), a...)
+					for u, v := range b {
+						if v >= 0 {
+							merged[u] = v
+						}
+					}
+					next = append(next, merged)
+					e.stat.Intermediate += int64(len(q.Nodes))
+				}
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			break
+		}
+	}
+	return acc
+}

@@ -1,0 +1,240 @@
+package twigstack
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+// chainDoc builds root -> a -> b -> c (a path document).
+func chainDoc() (*graph.Graph, []graph.NodeID) {
+	g := graph.New(0, 0)
+	r := g.AddNode("root", nil)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(r, a)
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.Freeze()
+	return g, []graph.NodeID{r, a, b, c}
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	g, ids := chainDoc()
+	q := core.NewQuery()
+	root := q.AddRoot("b", core.Label("b"))
+	q.SetOutput(root)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[2] {
+		t.Fatalf("answer = %s", ans)
+	}
+}
+
+func TestPathQueryADandPC(t *testing.T) {
+	g, ids := chainDoc()
+	// a//c (AD through b).
+	q := core.NewQuery()
+	a := q.AddRoot("a", core.Label("a"))
+	c := q.AddNode("c", core.Backbone, a, core.AD, core.Label("c"))
+	q.SetOutput(c)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != ids[3] {
+		t.Fatalf("AD answer = %s", ans)
+	}
+	// a/c (PC) has no match.
+	q2 := core.NewQuery()
+	a2 := q2.AddRoot("a", core.Label("a"))
+	c2 := q2.AddNode("c", core.Backbone, a2, core.PC, core.Label("c"))
+	q2.SetOutput(c2)
+	if ans := New(g).Eval(q2); ans.Len() != 0 {
+		t.Fatalf("PC answer = %s, want empty", ans)
+	}
+}
+
+// branchDoc: root with two a's; first a has b-child only, second a has
+// b and c children; exercises the multi-leaf merge.
+func branchDoc() (*graph.Graph, []graph.NodeID) {
+	g := graph.New(0, 0)
+	r := g.AddNode("root", nil)
+	a1 := g.AddNode("a", nil)
+	a2 := g.AddNode("a", nil)
+	b1 := g.AddNode("b", nil)
+	b2 := g.AddNode("b", nil)
+	c2 := g.AddNode("c", nil)
+	g.AddEdge(r, a1)
+	g.AddEdge(r, a2)
+	g.AddEdge(a1, b1)
+	g.AddEdge(a2, b2)
+	g.AddEdge(a2, c2)
+	g.Freeze()
+	return g, []graph.NodeID{r, a1, a2, b1, b2, c2}
+}
+
+func TestTwigWithTwoLeaves(t *testing.T) {
+	g, ids := branchDoc()
+	q := core.NewQuery()
+	a := q.AddRoot("a", core.Label("a"))
+	b := q.AddNode("b", core.Backbone, a, core.AD, core.Label("b"))
+	c := q.AddNode("c", core.Backbone, a, core.AD, core.Label("c"))
+	q.SetOutput(a)
+	q.SetOutput(b)
+	q.SetOutput(c)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 {
+		t.Fatalf("answer = %s", ans)
+	}
+	row := ans.Tuples[0]
+	if row[0] != ids[2] || row[1] != ids[4] || row[2] != ids[5] {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestExhaustedBranchStillEmitsOthers(t *testing.T) {
+	// Regression for the premature-termination bug: the b-branch leaf
+	// stream drains (small start positions) while c-branch solutions for
+	// already-pushed roots are still pending.
+	g := graph.New(0, 0)
+	r := g.AddNode("root", nil)
+	a := g.AddNode("a", nil)
+	b := g.AddNode("b", nil) // early in document order
+	x := g.AddNode("x", nil)
+	c := g.AddNode("c", nil) // late in document order
+	g.AddEdge(r, a)
+	g.AddEdge(a, b)
+	g.AddEdge(a, x)
+	g.AddEdge(x, c)
+	g.Freeze()
+
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qb := q.AddNode("b", core.Backbone, qa, core.AD, core.Label("b"))
+	qc := q.AddNode("c", core.Backbone, qa, core.AD, core.Label("c"))
+	q.SetOutput(qa)
+	q.SetOutput(qb)
+	q.SetOutput(qc)
+	want := core.EvalNaive(g, reach.NewTC(g), q)
+	got := New(g).Eval(q)
+	if !want.Equal(got) {
+		t.Fatalf("want %sgot %s", want, got)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("expected one match, got %s", got)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	g, _ := branchDoc()
+	q := core.NewQuery()
+	a := q.AddRoot("a", core.Label("a"))
+	b := q.AddNode("b", core.Backbone, a, core.AD, core.Label("b"))
+	q.SetOutput(b)
+	e := New(g)
+	e.Eval(q)
+	st := e.Stats()
+	if st.Input == 0 {
+		t.Error("Input not counted")
+	}
+	if st.Intermediate == 0 {
+		t.Error("Intermediate (path solutions) not counted")
+	}
+}
+
+func TestRefJoinAcrossTrees(t *testing.T) {
+	// Tree 1: a -> ref ; tree 2: t -> u. Cross edge ref => t.
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	ref := g.AddNode("ref", nil)
+	tnode := g.AddNode("t", nil)
+	u := g.AddNode("u", nil)
+	g.AddEdge(a, ref)
+	g.AddCrossEdge(ref, tnode)
+	g.AddEdge(tnode, u)
+	// Distractor second tree not referenced.
+	t2 := g.AddNode("t", nil)
+	g.AddEdge(t2, g.AddNode("u", nil))
+	g.Freeze()
+
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	qr := q.AddNode("ref", core.Backbone, qa, core.PC, core.Label("ref"))
+	qt := q.AddNode("t", core.Backbone, qr, core.PC, core.Label("t"))
+	q.SetViaRef(qt)
+	qu := q.AddNode("u", core.Backbone, qt, core.PC, core.Label("u"))
+	q.SetOutput(qt)
+	q.SetOutput(qu)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != tnode || ans.Tuples[0][1] != u {
+		t.Fatalf("answer = %s", ans)
+	}
+}
+
+func TestChainedRefs(t *testing.T) {
+	// Three trees chained by two refs: a->r1 => b->r2 => c.
+	g := graph.New(0, 0)
+	a := g.AddNode("a", nil)
+	r1 := g.AddNode("r1", nil)
+	b := g.AddNode("b", nil)
+	r2 := g.AddNode("r2", nil)
+	c := g.AddNode("c", nil)
+	g.AddEdge(a, r1)
+	g.AddCrossEdge(r1, b)
+	g.AddEdge(b, r2)
+	g.AddCrossEdge(r2, c)
+	g.Freeze()
+
+	q := core.NewQuery()
+	qa := q.AddRoot("a", core.Label("a"))
+	q1 := q.AddNode("r1", core.Backbone, qa, core.PC, core.Label("r1"))
+	qb := q.AddNode("b", core.Backbone, q1, core.PC, core.Label("b"))
+	q.SetViaRef(qb)
+	q2 := q.AddNode("r2", core.Backbone, qb, core.PC, core.Label("r2"))
+	qc := q.AddNode("c", core.Backbone, q2, core.PC, core.Label("c"))
+	q.SetViaRef(qc)
+	q.SetOutput(qc)
+	ans := New(g).Eval(q)
+	if ans.Len() != 1 || ans.Tuples[0][0] != c {
+		t.Fatalf("answer = %s", ans)
+	}
+}
+
+func TestRandomPathsAgainstOracle(t *testing.T) {
+	// Deep random trees stress cleanStack and the stack-encoded path
+	// expansion.
+	r := rand.New(rand.NewSource(77))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 30; trial++ {
+		g := graph.New(0, 0)
+		n := 10 + r.Intn(40)
+		g.AddNode(labels[r.Intn(3)], nil)
+		for i := 1; i < n; i++ {
+			g.AddNode(labels[r.Intn(3)], nil)
+			// Prefer recent parents -> deep trees.
+			p := i - 1 - r.Intn(minInt(i, 3))
+			g.AddEdge(graph.NodeID(p), graph.NodeID(i))
+		}
+		g.Freeze()
+		q := core.NewQuery()
+		qa := q.AddRoot("a", core.Label("a"))
+		qb := q.AddNode("b", core.Backbone, qa, core.AD, core.Label("b"))
+		qc := q.AddNode("c", core.Backbone, qb, core.AD, core.Label("c"))
+		q.SetOutput(qa)
+		q.SetOutput(qc)
+		_ = qc
+		want := core.EvalNaive(g, reach.NewTC(g), q)
+		got := New(g).Eval(q)
+		if !want.Equal(got) {
+			t.Fatalf("trial %d mismatch:\nwant %sgot %s", trial, want, got)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

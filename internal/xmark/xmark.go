@@ -1,0 +1,191 @@
+// Package xmark generates XMark-like auction-site graphs (Schmidt et
+// al., VLDB'02): a document forest — site / regions / items, people /
+// persons, open_auctions, closed_auctions — whose IDREF links (personref,
+// itemref, seller, buyer) become cross edges, yielding exactly the
+// "trees connected by cross edges" shape §5.1 evaluates on. Person and
+// item nodes are randomly classified into ten groups and labeled
+// person0..person9 / item0..item9 (the paper's attribute encoding);
+// every other node is labeled by its tag.
+//
+// Sizes scale linearly with the scaling factor like the paper's Table 1;
+// absolute counts are configurable so the suite runs on one machine.
+package xmark
+
+import (
+	"math/rand"
+
+	"gtpq/internal/graph"
+)
+
+// Config controls generation.
+type Config struct {
+	// Scale is the paper's scaling factor (0.5–4 in Table 1).
+	Scale float64
+	// PersonsPerUnit is the person count at Scale 1.
+	PersonsPerUnit int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Groups is the number of person/item label groups (the paper uses 10).
+const Groups = 10
+
+// DefaultConfig mirrors the benchmark setup at a laptop-friendly size.
+func DefaultConfig(scale float64) Config {
+	return Config{Scale: scale, PersonsPerUnit: 2000, Seed: 7}
+}
+
+// Stats summarizes a generated dataset (Table 1's columns).
+type Stats struct {
+	Scale   float64
+	Nodes   int
+	Edges   int
+	Persons int
+	Items   int
+	Open    int
+	Closed  int
+}
+
+// Generate builds the graph for cfg.
+func Generate(cfg Config) (*graph.Graph, Stats) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nPersons := int(float64(cfg.PersonsPerUnit) * cfg.Scale)
+	if nPersons < 10 {
+		nPersons = 10
+	}
+	nItems := nPersons * 17 / 20
+	nOpen := nPersons * 17 / 20
+	nClosed := nPersons * 38 / 100
+
+	g := graph.New(nPersons*12, nPersons*14)
+	site := g.AddNode("site", nil)
+
+	// People.
+	people := g.AddNode("people", nil)
+	g.AddEdge(site, people)
+	persons := make([]graph.NodeID, nPersons)
+	for i := range persons {
+		group := r.Intn(Groups)
+		p := g.AddNode(groupLabel("person", group), graph.Attrs{
+			"tag":   graph.StrV("person"),
+			"group": graph.NumV(float64(group)),
+		})
+		g.AddEdge(people, p)
+		persons[i] = p
+		g.AddEdge(p, g.AddNode("name", nil))
+		g.AddEdge(p, g.AddNode("emailaddress", nil))
+		if r.Intn(100) < 70 {
+			addr := g.AddNode("address", nil)
+			g.AddEdge(p, addr)
+			g.AddEdge(addr, g.AddNode("street", nil))
+			g.AddEdge(addr, g.AddNode("city", nil))
+			g.AddEdge(addr, g.AddNode("country", nil))
+		}
+		if r.Intn(100) < 60 {
+			prof := g.AddNode("profile", nil)
+			g.AddEdge(p, prof)
+			g.AddEdge(prof, g.AddNode("interest", nil))
+			if r.Intn(100) < 50 {
+				g.AddEdge(prof, g.AddNode("education", nil))
+			}
+			if r.Intn(100) < 30 {
+				g.AddEdge(prof, g.AddNode("business", nil))
+			}
+		}
+	}
+
+	// Regions and items.
+	regions := g.AddNode("regions", nil)
+	g.AddEdge(site, regions)
+	regionNames := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	regionNodes := make([]graph.NodeID, len(regionNames))
+	for i, rn := range regionNames {
+		regionNodes[i] = g.AddNode(rn, nil)
+		g.AddEdge(regions, regionNodes[i])
+	}
+	items := make([]graph.NodeID, nItems)
+	for i := range items {
+		group := r.Intn(Groups)
+		it := g.AddNode(groupLabel("item", group), graph.Attrs{
+			"tag":   graph.StrV("item"),
+			"group": graph.NumV(float64(group)),
+		})
+		g.AddEdge(regionNodes[r.Intn(len(regionNodes))], it)
+		items[i] = it
+		g.AddEdge(it, g.AddNode("location", nil))
+		g.AddEdge(it, g.AddNode("quantity", nil))
+		g.AddEdge(it, g.AddNode("name", nil))
+		if r.Intn(100) < 60 {
+			mb := g.AddNode("mailbox", nil)
+			g.AddEdge(it, mb)
+			for k := r.Intn(3); k > 0; k-- {
+				mail := g.AddNode("mail", nil)
+				g.AddEdge(mb, mail)
+				g.AddEdge(mail, g.AddNode("date", nil))
+			}
+		}
+	}
+
+	// Open auctions.
+	opens := g.AddNode("open_auctions", nil)
+	g.AddEdge(site, opens)
+	for i := 0; i < nOpen; i++ {
+		oa := g.AddNode("open_auction", nil)
+		g.AddEdge(opens, oa)
+		g.AddEdge(oa, g.AddNode("initial", nil))
+		if r.Intn(100) < 45 {
+			g.AddEdge(oa, g.AddNode("reserve", nil))
+		}
+		for b := r.Intn(4); b > 0; b-- {
+			bd := g.AddNode("bidder", nil)
+			g.AddEdge(oa, bd)
+			g.AddEdge(bd, g.AddNode("date", nil))
+			pr := g.AddNode("personref", nil)
+			g.AddEdge(bd, pr)
+			g.AddCrossEdge(pr, persons[r.Intn(len(persons))])
+			g.AddEdge(bd, g.AddNode("increase", nil))
+		}
+		g.AddEdge(oa, g.AddNode("current", nil))
+		ir := g.AddNode("itemref", nil)
+		g.AddEdge(oa, ir)
+		g.AddCrossEdge(ir, items[r.Intn(len(items))])
+		sl := g.AddNode("seller", nil)
+		g.AddEdge(oa, sl)
+		g.AddCrossEdge(sl, persons[r.Intn(len(persons))])
+		g.AddEdge(oa, g.AddNode("quantity", nil))
+	}
+
+	// Closed auctions.
+	closeds := g.AddNode("closed_auctions", nil)
+	g.AddEdge(site, closeds)
+	for i := 0; i < nClosed; i++ {
+		ca := g.AddNode("closed_auction", nil)
+		g.AddEdge(closeds, ca)
+		sl := g.AddNode("seller", nil)
+		g.AddEdge(ca, sl)
+		g.AddCrossEdge(sl, persons[r.Intn(len(persons))])
+		by := g.AddNode("buyer", nil)
+		g.AddEdge(ca, by)
+		g.AddCrossEdge(by, persons[r.Intn(len(persons))])
+		ir := g.AddNode("itemref", nil)
+		g.AddEdge(ca, ir)
+		g.AddCrossEdge(ir, items[r.Intn(len(items))])
+		g.AddEdge(ca, g.AddNode("price", nil))
+		g.AddEdge(ca, g.AddNode("date", nil))
+	}
+
+	g.Freeze()
+	return g, Stats{
+		Scale:   cfg.Scale,
+		Nodes:   g.N(),
+		Edges:   g.M(),
+		Persons: nPersons,
+		Items:   nItems,
+		Open:    nOpen,
+		Closed:  nClosed,
+	}
+}
+
+func groupLabel(kind string, group int) string {
+	return kind + string(rune('0'+group))
+}

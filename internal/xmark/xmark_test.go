@@ -1,0 +1,82 @@
+package xmark
+
+import (
+	"testing"
+
+	"gtpq/internal/graph"
+)
+
+func TestGenerateShape(t *testing.T) {
+	g, st := Generate(Config{Scale: 1, PersonsPerUnit: 100, Seed: 1})
+	if st.Persons != 100 {
+		t.Errorf("Persons = %d", st.Persons)
+	}
+	if g.N() != st.Nodes || g.M() != st.Edges {
+		t.Errorf("stats disagree with graph: %+v vs N=%d M=%d", st, g.N(), g.M())
+	}
+	// The document structure must be a forest: one tree parent each.
+	for v := 0; v < g.N(); v++ {
+		parents := 0
+		for _, u := range g.In(graph.NodeID(v)) {
+			if g.EdgeKindOf(u, graph.NodeID(v)) == graph.TreeEdge {
+				parents++
+			}
+		}
+		if parents > 1 {
+			t.Fatalf("node %d has %d tree parents", v, parents)
+		}
+	}
+	// Required element types exist.
+	for _, l := range []string{"open_auction", "bidder", "personref", "seller", "itemref", "education", "address", "city", "location", "current", "profile", "mailbox"} {
+		if len(g.ByLabel(l)) == 0 {
+			t.Errorf("no %q nodes generated", l)
+		}
+	}
+	// Person/item group labels cover several groups.
+	groups := 0
+	for i := 0; i < Groups; i++ {
+		if len(g.ByLabel(groupLabel("person", i))) > 0 {
+			groups++
+		}
+	}
+	if groups < 5 {
+		t.Errorf("only %d person groups populated", groups)
+	}
+}
+
+func TestScalingIsLinear(t *testing.T) {
+	_, s1 := Generate(Config{Scale: 1, PersonsPerUnit: 100, Seed: 1})
+	_, s2 := Generate(Config{Scale: 2, PersonsPerUnit: 100, Seed: 1})
+	ratio := float64(s2.Nodes) / float64(s1.Nodes)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("node count ratio %f not ~2 (Table 1 linear scaling)", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, s1 := Generate(Config{Scale: 0.5, PersonsPerUnit: 100, Seed: 9})
+	g2, s2 := Generate(Config{Scale: 0.5, PersonsPerUnit: 100, Seed: 9})
+	if s1 != s2 || g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Error("generation is not deterministic")
+	}
+	for v := 0; v < g1.N(); v++ {
+		if g1.Label(graph.NodeID(v)) != g2.Label(graph.NodeID(v)) {
+			t.Fatalf("labels differ at node %d", v)
+		}
+	}
+}
+
+func TestCrossEdgesAreRefs(t *testing.T) {
+	g, _ := Generate(Config{Scale: 0.5, PersonsPerUnit: 60, Seed: 2})
+	// Every personref must have exactly one cross edge to a person node.
+	for _, pr := range g.ByLabel("personref") {
+		var cross []graph.NodeID
+		cross = g.CrossTargets(pr, cross)
+		if len(cross) != 1 {
+			t.Fatalf("personref %d has %d cross targets", pr, len(cross))
+		}
+		if tag, ok := g.Attr(cross[0], "tag"); !ok || tag.Str != "person" {
+			t.Fatalf("personref %d points at %q", pr, g.Label(cross[0]))
+		}
+	}
+}
