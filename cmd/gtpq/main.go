@@ -5,6 +5,7 @@
 //
 //	gtpq -data xmark -scale 1 -query q.gtpq [-limit 20] [-minimize]
 //	gtpq -data arxiv -query q.gtpq
+//	gtpq -data xmark -index tc -parallel -query q.gtpq   # alternate reachability backend
 //	echo "node x label=open_auction output" | gtpq -data xmark -query -
 //
 // The DSL:
@@ -21,6 +22,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"gtpq/internal/arxiv"
@@ -29,6 +31,7 @@ import (
 	"gtpq/internal/graphio"
 	"gtpq/internal/gtea"
 	"gtpq/internal/qlang"
+	"gtpq/internal/reach"
 	"gtpq/internal/xmark"
 )
 
@@ -43,6 +46,8 @@ func main() {
 		queryArg = flag.String("query", "", "query file in the qlang DSL ('-' for stdin)")
 		limit    = flag.Int("limit", 20, "max result rows to print (0: all)")
 		minimize = flag.Bool("minimize", false, "minimize the query first (Algorithm 1)")
+		index    = flag.String("index", "", "reachability index backend: "+strings.Join(reach.Kinds(), ", ")+" (default threehop)")
+		parallel = flag.Bool("parallel", false, "build the index with multiple goroutines")
 	)
 	flag.Parse()
 	if *queryArg == "" {
@@ -100,14 +105,21 @@ func main() {
 	}
 
 	start = time.Now()
-	eng := gtea.New(g)
-	fmt.Printf("3-hop index: %d chains, %d list entries (built in %s)\n",
-		eng.H.NumChains(), eng.H.IndexSize(), time.Since(start).Round(time.Millisecond))
+	eng, err := gtea.NewWithOptions(g, gtea.Options{Index: *index, Parallel: *parallel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if th, ok := eng.H.(*reach.ThreeHop); ok {
+		fmt.Printf("%s index: %d chains, %d list entries (built in %s)\n",
+			eng.H.Kind(), th.NumChains(), th.IndexSize(), time.Since(start).Round(time.Millisecond))
+	} else {
+		fmt.Printf("%s index: %d elements (built in %s)\n",
+			eng.H.Kind(), eng.H.IndexSize(), time.Since(start).Round(time.Millisecond))
+	}
 
 	start = time.Now()
-	ans := eng.Eval(q)
+	ans, st := eng.EvalStats(q)
 	elapsed := time.Since(start)
-	st := eng.Stats()
 	fmt.Printf("%d result(s) in %s  [input=%d index=%d intermediate=%d]\n",
 		ans.Len(), elapsed.Round(time.Microsecond), st.Input, st.Index, st.Intermediate)
 

@@ -1,0 +1,3 @@
+module gtpq
+
+go 1.24

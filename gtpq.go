@@ -7,9 +7,16 @@
 // whose structure may be constrained with full propositional logic
 // (conjunction, disjunction, negation) over child branches; a subset of
 // the nodes is returned. Queries are evaluated with the paper's GTEA
-// algorithm: two-round pruning over a 3-hop reachability index with
-// merged contours, then result enumeration from a compact maximal
-// matching graph.
+// algorithm: two-round pruning over a reachability index with merged
+// contours, then result enumeration from a compact maximal matching
+// graph. The reachability index is pluggable — the paper's 3-hop index
+// is the default, a bitset transitive closure is registered as "tc",
+// and IndexKinds lists everything available; select one with
+// NewEngineWithOptions.
+//
+// An Engine is immutable once built and safe for concurrent Eval calls
+// from many goroutines; per-call cost counters come back in each
+// Result.
 //
 // Basic use:
 //
@@ -38,6 +45,7 @@ import (
 	"gtpq/internal/gtea"
 	"gtpq/internal/logic"
 	"gtpq/internal/qlang"
+	"gtpq/internal/reach"
 )
 
 // NodeID identifies a node of a Graph.
@@ -264,18 +272,49 @@ type EvalStats struct {
 	Intermediate int64
 }
 
+// EngineOptions select the engine's reachability backend.
+type EngineOptions struct {
+	// Index names the reachability index kind; IndexKinds lists the
+	// registered backends. Empty selects the default (the paper's
+	// 3-hop index).
+	Index string
+	// Parallel builds the index with multiple goroutines (one shard
+	// per SCC level); the built index answers identically to a serial
+	// build.
+	Parallel bool
+}
+
 // Engine evaluates queries over one graph; building it constructs the
-// 3-hop reachability index.
+// selected reachability index. An Engine is immutable and safe for
+// concurrent Eval calls.
 type Engine struct {
 	e *gtea.Engine
 }
 
-// NewEngine builds a GTEA engine for g.
+// NewEngine builds a GTEA engine for g with the default 3-hop index.
 func NewEngine(g *Graph) *Engine {
 	return &Engine{e: gtea.New(g.g)}
 }
 
-// Eval evaluates q.
+// NewEngineWithOptions builds a GTEA engine for g with the named index
+// backend; it fails on unknown kinds or backends that refuse the graph
+// (e.g. "tc" beyond its size limit).
+func NewEngineWithOptions(g *Graph, opt EngineOptions) (*Engine, error) {
+	e, err := gtea.NewWithOptions(g.g, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// IndexKinds lists the registered reachability backends, sorted.
+func IndexKinds() []string { return reach.Kinds() }
+
+// IndexKind reports which backend this engine evaluates over.
+func (e *Engine) IndexKind() string { return e.e.H.Kind() }
+
+// Eval evaluates q. Safe for concurrent use; the returned Stats are
+// specific to this call.
 func (e *Engine) Eval(q *Query) (*Result, error) {
 	if err := q.q.Validate(); err != nil {
 		return nil, err
@@ -283,8 +322,7 @@ func (e *Engine) Eval(q *Query) (*Result, error) {
 	if len(q.q.Outputs()) == 0 {
 		return nil, fmt.Errorf("gtpq: query has no output nodes")
 	}
-	ans := e.e.Eval(q.q)
-	st := e.e.Stats()
+	ans, st := e.e.EvalStats(q.q)
 	cols := make([]string, len(ans.Out))
 	for i, u := range ans.Out {
 		cols[i] = q.q.Nodes[u].Name

@@ -2,6 +2,7 @@ package gtpq
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -204,4 +205,73 @@ node y label=b parent=re edge=pc ref output`)
 		t.Fatalf("rows = %v", res.Rows)
 	}
 	_ = a
+}
+
+func TestEngineOptionsBackends(t *testing.T) {
+	g, ids := demoGraph()
+	q, err := ParseQuery(`
+node x label=a output
+pnode y label=c parent=x edge=ad
+pred x: y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := IndexKinds()
+	if len(kinds) < 2 {
+		t.Fatalf("IndexKinds() = %v, want at least two backends", kinds)
+	}
+	for _, kind := range kinds {
+		for _, parallel := range []bool{false, true} {
+			e, err := NewEngineWithOptions(g, EngineOptions{Index: kind, Parallel: parallel})
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if e.IndexKind() != kind {
+				t.Errorf("IndexKind() = %q, want %q", e.IndexKind(), kind)
+			}
+			res, err := e.Eval(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0][0] != ids[0] {
+				t.Fatalf("%s: rows = %v, want [[a0]]", kind, res.Rows)
+			}
+		}
+	}
+	if _, err := NewEngineWithOptions(g, EngineOptions{Index: "bogus"}); err == nil {
+		t.Fatal("expected an error for an unknown index kind")
+	}
+}
+
+func TestEngineConcurrentEvalPublicAPI(t *testing.T) {
+	g, ids := demoGraph()
+	q, err := ParseQuery(`
+node x label=a output
+pnode y label=c parent=x edge=ad
+pred x: y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	var wg sync.WaitGroup
+	bad := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.Eval(q)
+			if err != nil {
+				bad <- err.Error()
+				return
+			}
+			if len(res.Rows) != 1 || res.Rows[0][0] != ids[0] {
+				bad <- "wrong rows under concurrency"
+			}
+		}()
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Fatal(msg)
+	}
 }

@@ -26,6 +26,7 @@ func TestAllExperimentsProduceOutput(t *testing.T) {
 		"Table 1", "Table 2", "Fig 8(a)", "Fig 8(b)",
 		"Fig 9(a)", "Fig 9(b)", "Fig 9(c)", "Fig 9(d)",
 		"Fig 10", "Exp-1", "Exp-2", "Ablation A2", "Ablation A3",
+		"Index backends", "Concurrency",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q section", want)

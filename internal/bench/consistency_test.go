@@ -7,7 +7,9 @@ import (
 
 	"gtpq/internal/core"
 	"gtpq/internal/decomp"
+	"gtpq/internal/gtea"
 	"gtpq/internal/queries"
+	"gtpq/internal/reach"
 	"gtpq/internal/twigstack"
 	"gtpq/internal/twigstackd"
 )
@@ -67,6 +69,32 @@ func TestExp2EnginesAgree(t *testing.T) {
 		if got := tdWrap.Eval(q); !want.Equal(got) {
 			t.Fatalf("%s: decomp(twigstackd) disagrees: %d vs %d rows",
 				spec.Name, want.Len(), got.Len())
+		}
+	}
+}
+
+// TestIndexBackendsAgree checks the IndexBackends experiment operands:
+// every registered reachability backend must drive GTEA to identical
+// answers on the benchmarked XMark workload.
+func TestIndexBackendsAgree(t *testing.T) {
+	r := NewRunner(tinyConfig(), io.Discard)
+	g, _ := r.XMark(1)
+	base := r.GTEA(g)
+	for _, kind := range reach.Kinds() {
+		e, err := gtea.NewWithOptions(g, gtea.Options{Index: kind, Parallel: true})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		for i := 0; i < 3; i++ {
+			for name, build := range map[string]func(*rand.Rand) *core.Query{
+				"Q1": queries.XMarkQ1, "Q2": queries.XMarkQ2, "Q3": queries.XMarkQ3,
+			} {
+				q := build(rand.New(rand.NewSource(int64(i))))
+				want := base.Eval(q)
+				if got := e.Eval(q); !want.Equal(got) {
+					t.Fatalf("%s #%d: backend %q disagrees with default", name, i, kind)
+				}
+			}
 		}
 	}
 }

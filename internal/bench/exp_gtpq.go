@@ -37,8 +37,7 @@ func (r *Runner) Fig10() {
 	r.printf("%-12s %14s %14s %14s\n", "engine", "#input", "#intermediate", "#index")
 
 	ge := r.GTEA(g)
-	ge.Eval(q)
-	gs := ge.Stats()
+	_, gs := ge.EvalStats(q)
 	r.printf("%-12s %14d %14d %14d\n", "GTEA", gs.Input, gs.Intermediate, gs.Index)
 
 	he := hgjoinOn(r, g)
@@ -213,4 +212,8 @@ func (r *Runner) All() {
 	r.AblationContours()
 	r.printf("\n")
 	r.AblationPrimeSubtree()
+	r.printf("\n")
+	r.IndexBackends()
+	r.printf("\n")
+	r.Concurrency()
 }

@@ -1,10 +1,21 @@
 // Package gtea implements the paper's GTPQ evaluation algorithm (§4):
-// two-round pruning of candidate matching nodes over a 3-hop
-// reachability index with merged contours (PruneDownward, Procedure 6;
-// PruneUpward, Procedure 7), reduction to the shrunk prime subtree, a
-// compact maximal matching graph for intermediate results, and result
+// two-round pruning of candidate matching nodes over a reachability
+// index with merged contours (PruneDownward, Procedure 6; PruneUpward,
+// Procedure 7), reduction to the shrunk prime subtree, a compact
+// maximal matching graph for intermediate results, and result
 // enumeration (CollectResults, Procedure 5). PC edges are handled per
 // §4.4 with exact adjacency valuations.
+//
+// The engine is layered over the reach.ContourIndex abstraction: any
+// backend providing point reachability and merged set contours works
+// (reach.Build selects one by name). Backends that additionally expose
+// chain structure (reach.ChainIndex, e.g. the paper's 3-hop index) get
+// the Procedure 6/7 shared-walk and chain-inheritance optimizations;
+// the rest are pruned with plain holistic contour probes.
+//
+// An Engine is immutable after construction and safe for concurrent
+// use: all per-evaluation state lives in a per-call context, and every
+// index lookup is charged to a per-call stats sink.
 package gtea
 
 import (
@@ -21,7 +32,8 @@ type Stats struct {
 	// Input counts data-node accesses (candidate scans plus pruning and
 	// matching-graph passes).
 	Input int64
-	// Index counts index elements looked up (3-hop list entries).
+	// Index counts index elements looked up (3-hop list entries or
+	// closure words).
 	Index int64
 	// Intermediate is twice the node+edge count of the maximal matching
 	// graph — the paper's measure of intermediate-result size.
@@ -34,47 +46,92 @@ type Stats struct {
 	TotalTime time.Duration
 }
 
-// Options tune the engine; the zero value is the paper's algorithm.
-// The flags exist for the ablation benchmarks.
+// Options tune the engine; the zero value is the paper's algorithm over
+// its 3-hop index. The No* flags exist for the ablation benchmarks.
 type Options struct {
 	// NoContours disables contour merging: pruning falls back to
-	// pairwise 3-hop reachability probes per (candidate, child-set)
-	// pair.
+	// pairwise reachability probes per (candidate, child-set) pair.
 	NoContours bool
 	// NoShrink disables the shrunk prime subtree: enumeration walks the
 	// full prime subtree.
 	NoShrink bool
+	// Index names the reachability backend (reach.Kinds lists them;
+	// empty selects reach.DefaultKind, the 3-hop index).
+	Index string
+	// Parallel builds the index with multiple goroutines.
+	Parallel bool
 }
 
-// Engine evaluates GTPQs over one fixed graph; build once, evaluate many
-// queries. Not safe for concurrent use.
+// Engine evaluates GTPQs over one fixed graph; build once, evaluate
+// many queries. The engine is immutable after construction (graph,
+// index, options) and safe for concurrent Eval calls.
 type Engine struct {
-	G    *graph.Graph
-	H    *reach.ThreeHop
-	Opt  Options
-	stat Stats
+	G   *graph.Graph
+	H   reach.ContourIndex
+	Opt Options
 }
 
 // New builds a GTEA engine (and its 3-hop index) for g.
 func New(g *graph.Graph) *Engine {
-	g.Freeze()
-	return &Engine{G: g, H: reach.NewThreeHop(g)}
+	e, err := NewWithOptions(g, Options{})
+	if err != nil {
+		panic("gtea: " + err.Error()) // default backend cannot fail
+	}
+	return e
 }
 
-// NewWithIndex wraps an existing 3-hop index (shared across engines).
-func NewWithIndex(g *graph.Graph, h *reach.ThreeHop) *Engine {
+// NewWithOptions builds an engine with the named index backend.
+func NewWithOptions(g *graph.Graph, opt Options) (*Engine, error) {
+	g.Freeze()
+	h, err := reach.Build(opt.Index, g, reach.BuildOptions{Parallel: opt.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{G: g, H: h, Opt: opt}, nil
+}
+
+// NewWithIndex wraps an existing index (shared across engines).
+func NewWithIndex(g *graph.Graph, h reach.ContourIndex) *Engine {
 	return &Engine{G: g, H: h}
 }
 
-// Stats returns the counters of the most recent Eval.
-func (e *Engine) Stats() Stats { return e.stat }
+// evalContext is the mutable state of one evaluation. Engines are
+// shared; contexts are not — one is created per Eval call, which is
+// what makes the engine reentrant.
+type evalContext struct {
+	g   *graph.Graph
+	h   reach.ContourIndex
+	ch  reach.ChainIndex // non-nil when the backend has chain structure
+	opt Options
+
+	mat    [][]graph.NodeID
+	matSet []map[graph.NodeID]bool
+
+	stat Stats
+	rst  reach.Stats // per-call index-lookup sink
+}
+
+func (e *Engine) newContext() *evalContext {
+	ec := &evalContext{g: e.G, h: e.H, opt: e.Opt}
+	if ci, ok := e.H.(reach.ChainIndex); ok {
+		ec.ch = ci
+	}
+	return ec
+}
 
 // Eval evaluates q and returns its answer. The query must be valid and
-// have at least one output node.
+// have at least one output node. Safe for concurrent use.
 func (e *Engine) Eval(q *core.Query) *core.Answer {
+	ans, _ := e.EvalStats(q)
+	return ans
+}
+
+// EvalStats evaluates q and returns its answer together with the cost
+// counters of this call. Safe for concurrent use: counters are
+// per-call, never shared engine state.
+func (e *Engine) EvalStats(q *core.Query) (*core.Answer, Stats) {
 	start := time.Now()
-	e.stat = Stats{}
-	base := e.H.Stats().Lookups
+	ec := e.newContext()
 
 	outs := q.Outputs()
 	ans := core.NewAnswer(outs)
@@ -82,55 +139,55 @@ func (e *Engine) Eval(q *core.Query) *core.Answer {
 		panic("gtea: query has no output nodes")
 	}
 
-	// Initial candidate matching nodes.
-	mat := make([][]graph.NodeID, len(q.Nodes))
-	matSet := make([]map[graph.NodeID]bool, len(q.Nodes))
+	ec.initCandidates(q)
+
+	pruneStart := time.Now()
+	ec.pruneDownward(q)
+	if len(ec.mat[q.Root]) == 0 {
+		ec.stat.PruneTime = time.Since(pruneStart)
+		ec.stat.Index = ec.rst.Lookups
+		ec.stat.TotalTime = time.Since(start)
+		ans.Canonicalize()
+		return ans, ec.stat
+	}
+	prime := ec.primeSubtree(q, outs)
+	ec.pruneUpward(q, prime)
+	ec.stat.PruneTime = time.Since(pruneStart)
+
+	// Shrink and enumerate.
+	comps, singles := ec.shrink(q, prime, outs)
+	mg := ec.buildMatchingGraph(q, comps)
+	ec.collectAll(q, ans, comps, singles, mg)
+
+	ec.stat.Index = ec.rst.Lookups
+	ec.stat.Results = int64(ans.Len())
+	ec.stat.TotalTime = time.Since(start)
+	return ans, ec.stat
+}
+
+// FilterOnly runs only the two pruning rounds and returns the surviving
+// candidate sets; used by the Fig 9(d) filtering-time experiment. Safe
+// for concurrent use.
+func (e *Engine) FilterOnly(q *core.Query) [][]graph.NodeID {
+	ec := e.newContext()
+	ec.initCandidates(q)
+	ec.pruneDownward(q)
+	if len(ec.mat[q.Root]) > 0 {
+		prime := ec.primeSubtree(q, q.Outputs())
+		ec.pruneUpward(q, prime)
+	}
+	return ec.mat
+}
+
+// initCandidates fills the initial candidate matching nodes.
+func (ec *evalContext) initCandidates(q *core.Query) {
+	ec.mat = make([][]graph.NodeID, len(q.Nodes))
+	ec.matSet = make([]map[graph.NodeID]bool, len(q.Nodes))
 	for u := range q.Nodes {
 		// Copy: pruning filters in place, and Candidates may return the
 		// graph's internal label index (also shared between query nodes
 		// with the same predicate).
-		mat[u] = append([]graph.NodeID(nil), core.Candidates(e.G, q.Nodes[u].Attr)...)
-		e.stat.Input += int64(len(mat[u]))
+		ec.mat[u] = append([]graph.NodeID(nil), core.Candidates(ec.g, q.Nodes[u].Attr)...)
+		ec.stat.Input += int64(len(ec.mat[u]))
 	}
-
-	pruneStart := time.Now()
-	e.pruneDownward(q, mat, matSet)
-	if len(mat[q.Root]) == 0 {
-		e.stat.PruneTime = time.Since(pruneStart)
-		e.stat.Index = e.H.Stats().Lookups - base
-		e.stat.TotalTime = time.Since(start)
-		ans.Canonicalize()
-		return ans
-	}
-	prime := e.primeSubtree(q, mat, outs)
-	e.pruneUpward(q, prime, mat, matSet)
-	e.stat.PruneTime = time.Since(pruneStart)
-
-	// Shrink and enumerate.
-	comps, singles := e.shrink(q, prime, mat, outs)
-	mg := e.buildMatchingGraph(q, comps, mat, matSet)
-	e.collectAll(q, ans, comps, singles, mg, mat)
-
-	e.stat.Index = e.H.Stats().Lookups - base
-	e.stat.Results = int64(ans.Len())
-	e.stat.TotalTime = time.Since(start)
-	return ans
-}
-
-// FilterOnly runs only the two pruning rounds and returns the surviving
-// candidate sets; used by the Fig 9(d) filtering-time experiment.
-func (e *Engine) FilterOnly(q *core.Query) [][]graph.NodeID {
-	e.stat = Stats{}
-	mat := make([][]graph.NodeID, len(q.Nodes))
-	matSet := make([]map[graph.NodeID]bool, len(q.Nodes))
-	for u := range q.Nodes {
-		mat[u] = append([]graph.NodeID(nil), core.Candidates(e.G, q.Nodes[u].Attr)...)
-		e.stat.Input += int64(len(mat[u]))
-	}
-	e.pruneDownward(q, mat, matSet)
-	if len(mat[q.Root]) > 0 {
-		prime := e.primeSubtree(q, mat, q.Outputs())
-		e.pruneUpward(q, prime, mat, matSet)
-	}
-	return mat
 }

@@ -293,8 +293,7 @@ func TestGTEAStatsPopulated(t *testing.T) {
 	g := randGraph(r, 30, 60, []string{"a", "b", "c"}, true)
 	q := randQuery(r, 4, []string{"a", "b", "c"}, false, false)
 	e := New(g)
-	e.Eval(q)
-	s := e.Stats()
+	_, s := e.EvalStats(q)
 	if s.Input == 0 {
 		t.Error("Input counter not populated")
 	}

@@ -20,10 +20,10 @@ type component struct {
 // subtree after removing proper ancestors of the output LCA and every
 // node with |mat| = 1, plus the fixed images of the singleton output
 // nodes (appended to every tuple).
-func (e *Engine) shrink(q *core.Query, prime map[int]bool, mat [][]graph.NodeID, outs []int) ([]component, map[int]graph.NodeID) {
+func (ec *evalContext) shrink(q *core.Query, prime map[int]bool, outs []int) ([]component, map[int]graph.NodeID) {
 	singles := make(map[int]graph.NodeID)
 	kept := make(map[int]bool)
-	if e.Opt.NoShrink {
+	if ec.opt.NoShrink {
 		for u := range prime {
 			kept[u] = true
 		}
@@ -37,7 +37,7 @@ func (e *Engine) shrink(q *core.Query, prime map[int]bool, mat [][]graph.NodeID,
 			if u != lca && q.IsAncestorOf(u, lca) {
 				continue // strict ancestor of the LCA
 			}
-			if len(mat[u]) == 1 {
+			if len(ec.mat[u]) == 1 {
 				continue
 			}
 			kept[u] = true
@@ -47,8 +47,8 @@ func (e *Engine) shrink(q *core.Query, prime map[int]bool, mat [][]graph.NodeID,
 				// Pruning can only leave singletons here when the answer
 				// is non-empty, in which case the candidate appears in
 				// every tuple.
-				if len(mat[o]) == 1 {
-					singles[o] = mat[o][0]
+				if len(ec.mat[o]) == 1 {
+					singles[o] = ec.mat[o][0]
 				} else {
 					singles[o] = -1 // empty: no results at all
 				}
@@ -95,10 +95,11 @@ type matchingGraph struct {
 
 // buildMatchingGraph materializes matches for every query edge of the
 // shrunk prime subtree. AD edges use per-source successor contours (the
-// PruneUpward technique with a single-node set); PC edges check
-// adjacency directly. Nodes left without support on some edge simply end
-// up with empty branch lists and contribute no results.
-func (e *Engine) buildMatchingGraph(q *core.Query, comps []component, mat [][]graph.NodeID, matSet []map[graph.NodeID]bool) *matchingGraph {
+// PruneUpward technique with a single-node set), which every backend
+// provides; PC edges check adjacency directly. Nodes left without
+// support on some edge simply end up with empty branch lists and
+// contribute no results.
+func (ec *evalContext) buildMatchingGraph(q *core.Query, comps []component) *matchingGraph {
 	mg := &matchingGraph{
 		keptChildren: make(map[int][]int),
 		branches:     make(map[int]map[graph.NodeID][][]graph.NodeID),
@@ -117,9 +118,9 @@ func (e *Engine) buildMatchingGraph(q *core.Query, comps []component, mat [][]gr
 				}
 			}
 			mg.keptChildren[u] = kids
-			perV := make(map[graph.NodeID][][]graph.NodeID, len(mat[u]))
+			perV := make(map[graph.NodeID][][]graph.NodeID, len(ec.mat[u]))
 			mg.branches[u] = perV
-			nodes += int64(len(mat[u]))
+			nodes += int64(len(ec.mat[u]))
 			if len(kids) == 0 {
 				continue
 			}
@@ -129,25 +130,25 @@ func (e *Engine) buildMatchingGraph(q *core.Query, comps []component, mat [][]gr
 					hasAD = true
 				}
 			}
-			for _, v := range mat[u] {
-				e.stat.Input++
+			for _, v := range ec.mat[u] {
+				ec.stat.Input++
 				lists := make([][]graph.NodeID, len(kids))
-				var cs *reach.Contour
+				var cs reach.SuccContour
 				if hasAD {
 					// One successor-list merge per source node serves all
 					// AD children (the PruneUpward technique of §4.3).
-					cs = e.H.MergeSuccLists([]graph.NodeID{v})
+					cs = ec.h.SuccContour([]graph.NodeID{v}, &ec.rst)
 				}
 				for i, c := range kids {
 					if q.Nodes[c].PEdge == core.PC {
-						for _, w := range e.G.Out(v) {
-							if matSet[c][w] {
+						for _, w := range ec.g.Out(v) {
+							if ec.matSet[c][w] {
 								lists[i] = append(lists[i], w)
 							}
 						}
 					} else {
-						for _, w := range mat[c] {
-							if e.H.ContourReaches(cs, w) {
+						for _, w := range ec.mat[c] {
+							if cs.ReachesNode(w, &ec.rst) {
 								lists[i] = append(lists[i], w)
 							}
 						}
@@ -158,14 +159,14 @@ func (e *Engine) buildMatchingGraph(q *core.Query, comps []component, mat [][]gr
 			}
 		}
 	}
-	e.stat.Intermediate = 2 * (nodes + edges)
+	ec.stat.Intermediate = 2 * (nodes + edges)
 	return mg
 }
 
 // collectAll enumerates the final answer: per-component results from
 // CollectResults, combined across components by Cartesian product, with
 // the fixed singleton outputs appended.
-func (e *Engine) collectAll(q *core.Query, ans *core.Answer, comps []component, singles map[int]graph.NodeID, mg *matchingGraph, mat [][]graph.NodeID) {
+func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []component, singles map[int]graph.NodeID, mg *matchingGraph) {
 	outPos := make(map[int]int, len(ans.Out))
 	for i, u := range ans.Out {
 		outPos[u] = i
@@ -262,7 +263,7 @@ func (e *Engine) collectAll(q *core.Query, ans *core.Answer, comps []component, 
 		}
 		seen := make(map[string]bool)
 		var all [][]graph.NodeID
-		for _, v := range mat[comp.root] {
+		for _, v := range ec.mat[comp.root] {
 			for _, t := range collect(comp.root, v) {
 				k := tupleKey(t)
 				if !seen[k] {

@@ -11,16 +11,18 @@ import (
 // pruneDownward is Procedure 6: processing query nodes bottom-up, it
 // removes every candidate of u whose induced valuation falsifies
 // fext(u). AD-child valuations are answered holistically against the
-// children's predecessor contours, sharing chain-suffix walks between
-// candidates on the same chain and inheriting positive valuations from
-// larger to smaller chain positions (reachability is monotone along a
-// chain). PC-child valuations are computed exactly from adjacency —
-// §4.4's first strategy, required anyway under negation.
-func (e *Engine) pruneDownward(q *core.Query, mat [][]graph.NodeID, matSet []map[graph.NodeID]bool) {
+// children's predecessor contours. Over a chain-structured index the
+// chain-suffix walks are shared between candidates on the same chain
+// and positive valuations are inherited from larger to smaller chain
+// positions (reachability is monotone along a chain); other backends
+// answer one contour probe per candidate. PC-child valuations are
+// computed exactly from adjacency — §4.4's first strategy, required
+// anyway under negation.
+func (ec *evalContext) pruneDownward(q *core.Query) {
 	for _, u := range q.PostOrder() {
 		n := q.Nodes[u]
 		if len(n.Children) == 0 {
-			matSet[u] = toSet(mat[u])
+			ec.matSet[u] = toSet(ec.mat[u])
 			continue
 		}
 		var adKids, pcKids []int
@@ -31,59 +33,81 @@ func (e *Engine) pruneDownward(q *core.Query, mat [][]graph.NodeID, matSet []map
 				adKids = append(adKids, c)
 			}
 		}
-		// Predecessor contours of the (already pruned) AD children.
-		cps := make(map[int]*reach.Contour, len(adKids))
-		if !e.Opt.NoContours {
-			for _, c := range adKids {
-				cps[c] = e.H.MergePredLists(mat[c])
-			}
-		}
 		fext := q.Fext(u)
 
+		// Predecessor summaries of the (already pruned) AD children:
+		// chain contours when the index exposes them, opaque contours
+		// otherwise, none under the pairwise ablation.
+		var cps map[int]*reach.Contour
+		var gps map[int]reach.PredContour
+		switch {
+		case ec.opt.NoContours:
+		case ec.ch != nil:
+			cps = make(map[int]*reach.Contour, len(adKids))
+			for _, c := range adKids {
+				cps[c] = ec.ch.MergePredLists(ec.mat[c], &ec.rst)
+			}
+		default:
+			gps = make(map[int]reach.PredContour, len(adKids))
+			for _, c := range adKids {
+				gps[c] = ec.h.PredContour(ec.mat[c], &ec.rst)
+			}
+		}
+
 		// Group candidates by chain, descending sequence id, so positive
-		// AD valuations can be inherited within a chain.
-		byChain := e.groupByChain(mat[u], false)
-		keep := mat[u][:0]
+		// AD valuations can be inherited within a chain; without chain
+		// structure everything is one bucket and nothing is inherited.
+		buckets := ec.buckets(ec.mat[u], false)
+		inherit := ec.ch != nil
+		keep := ec.mat[u][:0]
 		val := make(map[int]bool, len(n.Children))
-		for _, chainNodes := range byChain {
+		for _, bucket := range buckets {
 			for k := range val {
 				delete(val, k)
 			}
-			walker := e.H.NewOutWalker()
-			for _, v := range chainNodes {
-				e.stat.Input++
+			var walker reach.ChainWalker
+			if cps != nil {
+				walker = ec.ch.NewOutWalker(&ec.rst)
+			}
+			for _, v := range bucket {
+				ec.stat.Input++
 				// PC children: exact adjacency, never inherited.
 				for _, c := range pcKids {
 					val[c] = false
-					for _, w := range e.G.Out(v) {
-						if matSet[c][w] {
+					for _, w := range ec.g.Out(v) {
+						if ec.matSet[c][w] {
 							val[c] = true
 							break
 						}
 					}
 				}
-				// AD children: positive values inherited along the chain;
-				// undecided ones re-checked.
-				if e.Opt.NoContours {
+				// AD children.
+				switch {
+				case ec.opt.NoContours:
+					// Pairwise probes; positive values inherited along the
+					// chain when there is one.
 					for _, c := range adKids {
-						if val[c] {
+						if inherit && val[c] {
 							continue
 						}
-						for _, w := range mat[c] {
-							if e.H.Reaches(v, w) {
+						val[c] = false
+						for _, w := range ec.mat[c] {
+							if ec.h.ReachesSt(v, w, &ec.rst) {
 								val[c] = true
 								break
 							}
 						}
 					}
-				} else {
+				case cps != nil:
+					// Chain path: own-position check, one shared suffix
+					// walk for all undecided children, ambiguity fallback.
 					var ambiguous []int
 					pending := 0
 					for _, c := range adKids {
 						if val[c] {
 							continue
 						}
-						hit, amb := e.H.CheckOwn(v, cps[c])
+						hit, amb := ec.ch.CheckOwn(v, cps[c])
 						if hit {
 							val[c] = true
 							continue
@@ -103,9 +127,15 @@ func (e *Engine) pruneDownward(q *core.Query, mat [][]graph.NodeID, matSet []map
 						})
 					}
 					for _, c := range ambiguous {
-						if !val[c] && e.H.ResolveAmbiguous(v, cps[c]) {
+						if !val[c] && ec.ch.ResolveAmbiguous(v, cps[c], &ec.rst) {
 							val[c] = true
 						}
+					}
+				default:
+					// Generic path: one holistic probe per (candidate,
+					// child contour).
+					for _, c := range adKids {
+						val[c] = gps[c].ReachedFrom(v, &ec.rst)
 					}
 				}
 				if fext.Eval(func(c int) bool { return val[c] }) {
@@ -114,8 +144,8 @@ func (e *Engine) pruneDownward(q *core.Query, mat [][]graph.NodeID, matSet []map
 			}
 		}
 		sortNodes(keep)
-		mat[u] = keep
-		matSet[u] = toSet(keep)
+		ec.mat[u] = keep
+		ec.matSet[u] = toSet(keep)
 	}
 }
 
@@ -124,63 +154,81 @@ func (e *Engine) pruneDownward(q *core.Query, mat [][]graph.NodeID, matSet []map
 // the parent's surviving candidates. Unlike the pseudocode we do not
 // skip parents with a single candidate — the shrunk-subtree
 // decomposition requires children of singletons to be upward-clean too.
-func (e *Engine) pruneUpward(q *core.Query, prime map[int]bool, mat [][]graph.NodeID, matSet []map[graph.NodeID]bool) {
+func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 	for _, u := range q.PreOrder() {
-		if !prime[u] || len(mat[u]) == 0 {
+		if !prime[u] || len(ec.mat[u]) == 0 {
 			continue
 		}
-		var cs *reach.Contour
+		var cs *reach.Contour       // chain successor contour of mat[u], lazy
+		var gcs reach.SuccContour   // generic successor contour, lazy
 		for _, c := range q.Nodes[u].Children {
 			if !prime[c] {
 				continue
 			}
 			if q.Nodes[c].PEdge == core.PC {
-				keep := mat[c][:0]
-				for _, v := range mat[c] {
-					e.stat.Input++
-					for _, w := range e.G.In(v) {
-						if matSet[u][w] {
+				keep := ec.mat[c][:0]
+				for _, v := range ec.mat[c] {
+					ec.stat.Input++
+					for _, w := range ec.g.In(v) {
+						if ec.matSet[u][w] {
 							keep = append(keep, v)
 							break
 						}
 					}
 				}
-				mat[c] = keep
-				matSet[c] = toSet(keep)
+				ec.mat[c] = keep
+				ec.matSet[c] = toSet(keep)
 				continue
 			}
-			if e.Opt.NoContours {
-				keep := mat[c][:0]
-				for _, v := range mat[c] {
-					e.stat.Input++
-					for _, w := range mat[u] {
-						if e.H.Reaches(w, v) {
+			if ec.opt.NoContours {
+				keep := ec.mat[c][:0]
+				for _, v := range ec.mat[c] {
+					ec.stat.Input++
+					for _, w := range ec.mat[u] {
+						if ec.h.ReachesSt(w, v, &ec.rst) {
 							keep = append(keep, v)
 							break
 						}
 					}
 				}
-				mat[c] = keep
-				matSet[c] = toSet(keep)
+				ec.mat[c] = keep
+				ec.matSet[c] = toSet(keep)
+				continue
+			}
+			if ec.ch == nil {
+				// Generic path: holistic probe of every child candidate
+				// against the parent's successor contour.
+				if gcs == nil {
+					gcs = ec.h.SuccContour(ec.mat[u], &ec.rst)
+				}
+				keep := ec.mat[c][:0]
+				for _, v := range ec.mat[c] {
+					ec.stat.Input++
+					if gcs.ReachesNode(v, &ec.rst) {
+						keep = append(keep, v)
+					}
+				}
+				ec.mat[c] = keep
+				ec.matSet[c] = toSet(keep)
 				continue
 			}
 			if cs == nil {
-				cs = e.H.MergeSuccLists(mat[u])
+				cs = ec.ch.MergeSuccLists(ec.mat[u], &ec.rst)
 			}
 			// Ascending order per chain: once one candidate is reached,
 			// all larger ones are too.
-			byChain := e.groupByChain(mat[c], true)
-			keep := mat[c][:0]
-			for _, chainNodes := range byChain {
-				walker := e.H.NewInWalker()
+			buckets := ec.buckets(ec.mat[c], true)
+			keep := ec.mat[c][:0]
+			for _, bucket := range buckets {
+				walker := ec.ch.NewInWalker(&ec.rst)
 				reached := false
-				for _, v := range chainNodes {
-					e.stat.Input++
+				for _, v := range bucket {
+					ec.stat.Input++
 					if reached {
 						keep = append(keep, v)
 						continue
 					}
-					hit, amb := e.H.CheckOwnSucc(cs, v)
+					hit, amb := ec.ch.CheckOwnSucc(cs, v)
 					got := hit
 					walker.Walk(v, func(cid, sid int32) {
 						if !got && cs.MatchSucc(cid, sid) {
@@ -188,7 +236,7 @@ func (e *Engine) pruneUpward(q *core.Query, prime map[int]bool, mat [][]graph.No
 						}
 					})
 					if !got && amb {
-						got = e.H.ResolveAmbiguousSucc(cs, v)
+						got = ec.ch.ResolveAmbiguousSucc(cs, v, &ec.rst)
 					}
 					if got {
 						reached = true
@@ -197,18 +245,18 @@ func (e *Engine) pruneUpward(q *core.Query, prime map[int]bool, mat [][]graph.No
 				}
 			}
 			sortNodes(keep)
-			mat[c] = keep
-			matSet[c] = toSet(keep)
+			ec.mat[c] = keep
+			ec.matSet[c] = toSet(keep)
 		}
 	}
 }
 
 // primeSubtree returns the node set of the minimum subtree containing
 // the root and every output node with more than one candidate.
-func (e *Engine) primeSubtree(q *core.Query, mat [][]graph.NodeID, outs []int) map[int]bool {
+func (ec *evalContext) primeSubtree(q *core.Query, outs []int) map[int]bool {
 	prime := map[int]bool{q.Root: true}
 	for _, o := range outs {
-		if len(mat[o]) <= 1 && !e.Opt.NoShrink {
+		if len(ec.mat[o]) <= 1 && !ec.opt.NoShrink {
 			continue
 		}
 		for x := o; x != -1; x = q.Nodes[x].Parent {
@@ -221,19 +269,24 @@ func (e *Engine) primeSubtree(q *core.Query, mat [][]graph.NodeID, outs []int) m
 	return prime
 }
 
-// groupByChain buckets nodes by their 3-hop chain and sorts each bucket
-// by sequence id (ascending or descending).
-func (e *Engine) groupByChain(nodes []graph.NodeID, ascending bool) map[int32][]graph.NodeID {
+// buckets groups nodes for chain-shared pruning: per 3-hop chain,
+// sorted by sequence id (ascending or descending), when the index has
+// chain structure; one unsorted bucket otherwise.
+func (ec *evalContext) buckets(nodes []graph.NodeID, ascending bool) [][]graph.NodeID {
+	if ec.ch == nil {
+		return [][]graph.NodeID{nodes}
+	}
 	by := make(map[int32][]graph.NodeID)
 	for _, v := range nodes {
-		cid, _ := e.H.Position(v)
+		cid, _ := ec.ch.Position(v)
 		by[cid] = append(by[cid], v)
 	}
+	out := make([][]graph.NodeID, 0, len(by))
 	for _, bucket := range by {
 		b := bucket
 		sort.Slice(b, func(i, j int) bool {
-			_, si := e.H.Position(b[i])
-			_, sj := e.H.Position(b[j])
+			_, si := ec.ch.Position(b[i])
+			_, sj := ec.ch.Position(b[j])
 			if si != sj {
 				if ascending {
 					return si < sj
@@ -245,8 +298,9 @@ func (e *Engine) groupByChain(nodes []graph.NodeID, ascending bool) map[int32][]
 			}
 			return b[i] > b[j]
 		})
+		out = append(out, b)
 	}
-	return by
+	return out
 }
 
 func toSet(xs []graph.NodeID) map[graph.NodeID]bool {

@@ -37,10 +37,12 @@ type Stats struct {
 	Intermediate int64
 }
 
-// Engine evaluates conjunctive TPQs by structural joins.
+// Engine evaluates conjunctive TPQs by structural joins. Any
+// reach.ContourIndex backend works; the per-edge joins only need
+// single-source successor contours.
 type Engine struct {
 	G *graph.Graph
-	H *reach.ThreeHop
+	H reach.ContourIndex
 	// Plans is the number of random plans tried in addition to the
 	// greedy one (Plus only); 0 means greedy only.
 	Plans int
@@ -56,7 +58,7 @@ func New(g *graph.Graph) *Engine {
 }
 
 // NewWithIndex shares an existing index.
-func NewWithIndex(g *graph.Graph, h *reach.ThreeHop) *Engine {
+func NewWithIndex(g *graph.Graph, h reach.ContourIndex) *Engine {
 	return &Engine{G: g, H: h, Plans: 2, rng: rand.New(rand.NewSource(1))}
 }
 
@@ -239,7 +241,9 @@ func queryEdges(q *core.Query) []qedge {
 // edgePairs computes the match pairs of every query edge with the
 // reachability index (the per-edge structural join).
 func (e *Engine) edgePairs(q *core.Query, mat [][]graph.NodeID, edges []qedge) [][][2]graph.NodeID {
-	base := e.H.Stats().Lookups
+	// Per-call sink: sharing an index between engines must not leak
+	// lookup counts across them.
+	var rst reach.Stats
 	pairs := make([][][2]graph.NodeID, len(edges))
 	for i, ed := range edges {
 		if q.Nodes[ed.c].PEdge == core.PC {
@@ -257,15 +261,15 @@ func (e *Engine) edgePairs(q *core.Query, mat [][]graph.NodeID, edges []qedge) [
 			continue
 		}
 		for _, v := range mat[ed.p] {
-			cs := e.H.MergeSuccLists([]graph.NodeID{v})
+			cs := e.H.SuccContour([]graph.NodeID{v}, &rst)
 			for _, w := range mat[ed.c] {
-				if e.H.ContourReaches(cs, w) {
+				if cs.ReachesNode(w, &rst) {
 					pairs[i] = append(pairs[i], [2]graph.NodeID{v, w})
 				}
 			}
 		}
 	}
-	e.stat.Index += e.H.Stats().Lookups - base
+	e.stat.Index += rst.Lookups
 	return pairs
 }
 

@@ -21,8 +21,8 @@ func (c *Contour) Size() int { return len(c.vals) }
 // MergePredLists computes the predecessor contour of S following
 // Procedure 2: every element's complete predecessor list is folded in,
 // and the per-chain `visited` high-water mark guarantees no Lin list is
-// examined twice.
-func (h *ThreeHop) MergePredLists(S []graph.NodeID) *Contour {
+// examined twice. Work is charged to st.
+func (h *ThreeHop) MergePredLists(S []graph.NodeID, st *Stats) *Contour {
 	c := &Contour{
 		pred:    true,
 		vals:    make(map[int32]int32),
@@ -44,7 +44,7 @@ func (h *ThreeHop) MergePredLists(S []graph.NodeID) *Contour {
 				break
 			}
 			for _, e := range h.lin[t] {
-				h.stats.Lookups++
+				st.Lookups++
 				if cur, ok := c.vals[e.cid]; !ok || e.sid > cur {
 					c.vals[e.cid] = e.sid
 				}
@@ -59,7 +59,7 @@ func (h *ThreeHop) MergePredLists(S []graph.NodeID) *Contour {
 
 // MergeSuccLists computes the successor contour of S (per-chain minima
 // over complete successor lists), the dual of MergePredLists.
-func (h *ThreeHop) MergeSuccLists(S []graph.NodeID) *Contour {
+func (h *ThreeHop) MergeSuccLists(S []graph.NodeID, st *Stats) *Contour {
 	c := &Contour{
 		vals:    make(map[int32]int32),
 		members: make(map[int32]bool, len(S)),
@@ -78,7 +78,7 @@ func (h *ThreeHop) MergeSuccLists(S []graph.NodeID) *Contour {
 				break
 			}
 			for _, e := range h.lout[t] {
-				h.stats.Lookups++
+				st.Lookups++
 				if cur, ok := c.vals[e.cid]; !ok || e.sid < cur {
 					c.vals[e.cid] = e.sid
 				}
@@ -91,13 +91,46 @@ func (h *ThreeHop) MergeSuccLists(S []graph.NodeID) *Contour {
 	return c
 }
 
+// threeHopPred adapts a chain predecessor contour to the backend-opaque
+// PredContour probe interface.
+type threeHopPred struct {
+	h *ThreeHop
+	c *Contour
+}
+
+func (p threeHopPred) ReachedFrom(v graph.NodeID, st *Stats) bool {
+	return p.h.ReachesContour(v, p.c, st)
+}
+func (p threeHopPred) Size() int { return p.c.Size() }
+
+// threeHopSucc is the successor dual.
+type threeHopSucc struct {
+	h *ThreeHop
+	c *Contour
+}
+
+func (s threeHopSucc) ReachesNode(v graph.NodeID, st *Stats) bool {
+	return s.h.ContourReaches(s.c, v, st)
+}
+func (s threeHopSucc) Size() int { return s.c.Size() }
+
+// PredContour summarizes S for generic "v reaches S?" probes.
+func (h *ThreeHop) PredContour(S []graph.NodeID, st *Stats) PredContour {
+	return threeHopPred{h: h, c: h.MergePredLists(S, st)}
+}
+
+// SuccContour summarizes S for generic "S reaches v?" probes.
+func (h *ThreeHop) SuccContour(S []graph.NodeID, st *Stats) SuccContour {
+	return threeHopSucc{h: h, c: h.MergeSuccLists(S, st)}
+}
+
 // ReachesContour reports whether v strictly reaches some element of the
 // set summarized by the predecessor contour cp (Proposition 7, first
 // half). The rare ambiguous case — v itself is in S, v's SCC is trivial,
 // and the only inclusive witness is v's own position — falls back to
 // checking v's DAG out-neighbors inclusively.
-func (h *ThreeHop) ReachesContour(v graph.NodeID, cp *Contour) bool {
-	h.stats.Queries++
+func (h *ThreeHop) ReachesContour(v graph.NodeID, cp *Contour, st *Stats) bool {
+	st.Queries++
 	s := h.cond.Comp[v]
 	if cp.members[s] && h.cond.Nontrivial(s) {
 		return true
@@ -116,7 +149,7 @@ func (h *ThreeHop) ReachesContour(v graph.NodeID, cp *Contour) bool {
 	}
 	for t := h.firstOut(s); t != -1; t = h.skipOut[t] {
 		for _, e := range h.lout[t] {
-			h.stats.Lookups++
+			st.Lookups++
 			if m, ok := cp.vals[e.cid]; ok && m >= e.sid {
 				return true
 			}
@@ -124,7 +157,7 @@ func (h *ThreeHop) ReachesContour(v graph.NodeID, cp *Contour) bool {
 	}
 	if ambiguous {
 		for _, w := range h.cond.Out[s] {
-			if h.inclusiveReachesPred(w, cp) {
+			if h.inclusiveReachesPred(w, cp, st) {
 				return true
 			}
 		}
@@ -135,8 +168,8 @@ func (h *ThreeHop) ReachesContour(v graph.NodeID, cp *Contour) bool {
 // ContourReaches reports whether some element of the set summarized by
 // the successor contour cs strictly reaches v (Proposition 7, second
 // half).
-func (h *ThreeHop) ContourReaches(cs *Contour, v graph.NodeID) bool {
-	h.stats.Queries++
+func (h *ThreeHop) ContourReaches(cs *Contour, v graph.NodeID, st *Stats) bool {
+	st.Queries++
 	s := h.cond.Comp[v]
 	if cs.members[s] && h.cond.Nontrivial(s) {
 		return true
@@ -155,7 +188,7 @@ func (h *ThreeHop) ContourReaches(cs *Contour, v graph.NodeID) bool {
 	}
 	for t := h.firstIn(s); t != -1; t = h.skipIn[t] {
 		for _, e := range h.lin[t] {
-			h.stats.Lookups++
+			st.Lookups++
 			if m, ok := cs.vals[e.cid]; ok && m <= e.sid {
 				return true
 			}
@@ -163,7 +196,7 @@ func (h *ThreeHop) ContourReaches(cs *Contour, v graph.NodeID) bool {
 	}
 	if ambiguous {
 		for _, w := range h.cond.In[s] {
-			if h.inclusiveSuccReaches(cs, w) {
+			if h.inclusiveSuccReaches(cs, w, st) {
 				return true
 			}
 		}
@@ -173,13 +206,13 @@ func (h *ThreeHop) ContourReaches(cs *Contour, v graph.NodeID) bool {
 
 // inclusiveReachesPred reports whether SCC s inclusively reaches the set
 // behind the predecessor contour.
-func (h *ThreeHop) inclusiveReachesPred(s int32, cp *Contour) bool {
+func (h *ThreeHop) inclusiveReachesPred(s int32, cp *Contour, st *Stats) bool {
 	if m, ok := cp.vals[h.chainOf[s]]; ok && m >= h.sidOf[s] {
 		return true
 	}
 	for t := h.firstOut(s); t != -1; t = h.skipOut[t] {
 		for _, e := range h.lout[t] {
-			h.stats.Lookups++
+			st.Lookups++
 			if m, ok := cp.vals[e.cid]; ok && m >= e.sid {
 				return true
 			}
@@ -188,13 +221,13 @@ func (h *ThreeHop) inclusiveReachesPred(s int32, cp *Contour) bool {
 	return false
 }
 
-func (h *ThreeHop) inclusiveSuccReaches(cs *Contour, s int32) bool {
+func (h *ThreeHop) inclusiveSuccReaches(cs *Contour, s int32, st *Stats) bool {
 	if m, ok := cs.vals[h.chainOf[s]]; ok && m <= h.sidOf[s] {
 		return true
 	}
 	for t := h.firstIn(s); t != -1; t = h.skipIn[t] {
 		for _, e := range h.lin[t] {
-			h.stats.Lookups++
+			st.Lookups++
 			if m, ok := cs.vals[e.cid]; ok && m <= e.sid {
 				return true
 			}
@@ -206,15 +239,18 @@ func (h *ThreeHop) inclusiveSuccReaches(cs *Contour, s int32) bool {
 // OutWalker streams the complete-successor-list entries of candidates
 // processed in descending sequence order on each chain, visiting every
 // Lout element at most once per walker lifetime (the inner loop of
-// Procedure 6). Callers create one walker per query node being pruned.
+// Procedure 6). Callers create one walker per query node being pruned;
+// a walker is single-use state for one evaluation and charges its
+// lookups to the sink it was created with.
 type OutWalker struct {
 	h       *ThreeHop
+	st      *Stats
 	visited map[int32]int32 // cid -> smallest sid whose suffix was walked
 }
 
-// NewOutWalker returns a walker over h.
-func (h *ThreeHop) NewOutWalker() *OutWalker {
-	return &OutWalker{h: h, visited: make(map[int32]int32)}
+// NewOutWalker returns a walker over h charging st.
+func (h *ThreeHop) NewOutWalker(st *Stats) ChainWalker {
+	return &OutWalker{h: h, st: st, visited: make(map[int32]int32)}
 }
 
 // Walk invokes f for every Lout entry in the not-yet-visited part of the
@@ -231,7 +267,7 @@ func (w *OutWalker) Walk(v graph.NodeID, f func(cid, sid int32)) {
 			break
 		}
 		for _, e := range h.lout[t] {
-			h.stats.Lookups++
+			w.st.Lookups++
 			f(e.cid, e.sid)
 		}
 	}
@@ -245,12 +281,13 @@ func (w *OutWalker) Walk(v graph.NodeID, f func(cid, sid int32)) {
 // prefix are visited at most once.
 type InWalker struct {
 	h       *ThreeHop
+	st      *Stats
 	visited map[int32]int32 // cid -> largest sid whose prefix was walked
 }
 
-// NewInWalker returns a walker over h.
-func (h *ThreeHop) NewInWalker() *InWalker {
-	return &InWalker{h: h, visited: make(map[int32]int32)}
+// NewInWalker returns a walker over h charging st.
+func (h *ThreeHop) NewInWalker(st *Stats) ChainWalker {
+	return &InWalker{h: h, st: st, visited: make(map[int32]int32)}
 }
 
 // Walk invokes f for every Lin entry in the not-yet-visited part of the
@@ -265,7 +302,7 @@ func (w *InWalker) Walk(v graph.NodeID, f func(cid, sid int32)) {
 			break
 		}
 		for _, e := range h.lin[t] {
-			h.stats.Lookups++
+			w.st.Lookups++
 			f(e.cid, e.sid)
 		}
 	}
@@ -305,10 +342,10 @@ func (h *ThreeHop) CheckOwn(v graph.NodeID, cp *Contour) (hit, ambiguous bool) {
 
 // ResolveAmbiguous answers the rare own-position ambiguity by probing
 // v's DAG out-neighbors inclusively against the predecessor contour.
-func (h *ThreeHop) ResolveAmbiguous(v graph.NodeID, cp *Contour) bool {
+func (h *ThreeHop) ResolveAmbiguous(v graph.NodeID, cp *Contour, st *Stats) bool {
 	s := h.cond.Comp[v]
 	for _, w := range h.cond.Out[s] {
-		if h.inclusiveReachesPred(w, cp) {
+		if h.inclusiveReachesPred(w, cp, st) {
 			return true
 		}
 	}
@@ -338,10 +375,10 @@ func (h *ThreeHop) CheckOwnSucc(cs *Contour, v graph.NodeID) (hit, ambiguous boo
 
 // ResolveAmbiguousSucc resolves the dual ambiguity through v's DAG
 // in-neighbors.
-func (h *ThreeHop) ResolveAmbiguousSucc(cs *Contour, v graph.NodeID) bool {
+func (h *ThreeHop) ResolveAmbiguousSucc(cs *Contour, v graph.NodeID, st *Stats) bool {
 	s := h.cond.Comp[v]
 	for _, w := range h.cond.In[s] {
-		if h.inclusiveSuccReaches(cs, w) {
+		if h.inclusiveSuccReaches(cs, w, st) {
 			return true
 		}
 	}

@@ -1,0 +1,88 @@
+package reach
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Helpers for level-parallel index construction. Both topological
+// sweeps used by the builders (3-hop Lin/Lout, TC rows) have the same
+// dependency shape: a node needs only nodes it points at (or is pointed
+// at by). Grouping the condensation by longest-path level makes every
+// level internally independent, so levels run serially and the nodes of
+// a level run sharded across goroutines.
+
+// levelize buckets the n DAG nodes by longest-path distance measured
+// along dep: level(s) = 1 + max over dep[s] (0 when dep[s] is empty).
+// order must be a topological order in which every node appears after
+// all its dep targets (for dep = Out that is reverse-topological
+// order). Buckets are returned in dependency order: every node's deps
+// live in strictly earlier buckets.
+func levelize(dep [][]int32, order []int32, n int) [][]int32 {
+	level := make([]int32, n)
+	max := int32(0)
+	for _, s := range order {
+		l := int32(0)
+		for _, w := range dep[s] {
+			if level[w]+1 > l {
+				l = level[w] + 1
+			}
+		}
+		level[s] = l
+		if l > max {
+			max = l
+		}
+	}
+	buckets := make([][]int32, max+1)
+	for _, s := range order {
+		buckets[level[s]] = append(buckets[level[s]], s)
+	}
+	return buckets
+}
+
+// reverseOf returns order reversed (reverse-topological from
+// topological and vice versa).
+func reverseOf(order []int32) []int32 {
+	out := make([]int32, len(order))
+	for i, s := range order {
+		out[len(order)-1-i] = s
+	}
+	return out
+}
+
+// parallelFor runs f(i) for i in [0, n), sharded across GOMAXPROCS
+// goroutines. Small batches run inline — goroutine startup dominates
+// otherwise.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	const minPerWorker = 16
+	if workers > n/minPerWorker {
+		workers = n / minPerWorker
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

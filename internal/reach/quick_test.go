@@ -69,15 +69,15 @@ func TestQuickContourSubsumesMembers(t *testing.T) {
 		for i := range S {
 			S[i] = graph.NodeID(rr.Intn(g.N()))
 		}
-		cp := h.MergePredLists(S)
-		cs := h.MergeSuccLists(S)
+		cp := h.MergePredLists(S, h.Stats())
+		cs := h.MergeSuccLists(S, h.Stats())
 		for v := 0; v < g.N(); v++ {
 			nv := graph.NodeID(v)
 			for _, s := range S {
-				if h.Reaches(nv, s) && !h.ReachesContour(nv, cp) {
+				if h.Reaches(nv, s) && !h.ReachesContour(nv, cp, h.Stats()) {
 					return false
 				}
-				if h.Reaches(s, nv) && !h.ContourReaches(cs, nv) {
+				if h.Reaches(s, nv) && !h.ContourReaches(cs, nv, h.Stats()) {
 					return false
 				}
 			}

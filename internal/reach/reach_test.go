@@ -238,14 +238,14 @@ func TestContoursMatchBruteForce(t *testing.T) {
 		for i := range S {
 			S[i] = graph.NodeID(r.Intn(g.N()))
 		}
-		cp := h.MergePredLists(S)
-		cs := h.MergeSuccLists(S)
+		cp := h.MergePredLists(S, h.Stats())
+		cs := h.MergeSuccLists(S, h.Stats())
 		for v := 0; v < g.N(); v++ {
 			nv := graph.NodeID(v)
-			if got, want := h.ReachesContour(nv, cp), contourWant(g, nv, S, "vToS"); got != want {
+			if got, want := h.ReachesContour(nv, cp, h.Stats()), contourWant(g, nv, S, "vToS"); got != want {
 				t.Fatalf("trial %d: ReachesContour(%d, S=%v)=%v want %v", trial, v, S, got, want)
 			}
-			if got, want := h.ContourReaches(cs, nv), contourWant(g, nv, S, "sToV"); got != want {
+			if got, want := h.ContourReaches(cs, nv, h.Stats()), contourWant(g, nv, S, "sToV"); got != want {
 				t.Fatalf("trial %d: ContourReaches(S=%v, %d)=%v want %v", trial, S, v, got, want)
 			}
 		}
@@ -265,7 +265,7 @@ func TestOutWalkerCoversSuffixEntries(t *testing.T) {
 		for i := range S {
 			S[i] = graph.NodeID(r.Intn(g.N()))
 		}
-		cp := h.MergePredLists(S)
+		cp := h.MergePredLists(S, h.Stats())
 
 		// Group all nodes by chain, descending sid.
 		byChain := map[int32][]graph.NodeID{}
@@ -286,7 +286,7 @@ func TestOutWalkerCoversSuffixEntries(t *testing.T) {
 					}
 				}
 			}
-			w := h.NewOutWalker()
+			w := h.NewOutWalker(h.Stats())
 			reached := false // inherited along the chain
 			for _, v := range nodes {
 				hit, ambiguous := h.CheckOwn(v, cp)
@@ -297,7 +297,7 @@ func TestOutWalkerCoversSuffixEntries(t *testing.T) {
 					}
 				})
 				if !got && ambiguous {
-					got = h.ResolveAmbiguous(v, cp)
+					got = h.ResolveAmbiguous(v, cp, h.Stats())
 				}
 				want := contourWant(g, v, S, "vToS")
 				if got != want {
@@ -321,7 +321,7 @@ func TestInWalkerCoversPrefixEntries(t *testing.T) {
 		for i := range S {
 			S[i] = graph.NodeID(r.Intn(g.N()))
 		}
-		cs := h.MergeSuccLists(S)
+		cs := h.MergeSuccLists(S, h.Stats())
 
 		byChain := map[int32][]graph.NodeID{}
 		for v := 0; v < g.N(); v++ {
@@ -341,7 +341,7 @@ func TestInWalkerCoversPrefixEntries(t *testing.T) {
 					}
 				}
 			}
-			w := h.NewInWalker()
+			w := h.NewInWalker(h.Stats())
 			reached := false
 			for _, v := range nodes {
 				hit, ambiguous := h.CheckOwnSucc(cs, v)
@@ -352,7 +352,7 @@ func TestInWalkerCoversPrefixEntries(t *testing.T) {
 					}
 				})
 				if !got && ambiguous {
-					got = h.ResolveAmbiguousSucc(cs, v)
+					got = h.ResolveAmbiguousSucc(cs, v, h.Stats())
 				}
 				want := contourWant(g, v, S, "sToV")
 				if got != want {
@@ -374,7 +374,7 @@ func TestContourSizeBoundedByChains(t *testing.T) {
 	for i := range S {
 		S[i] = graph.NodeID(r.Intn(g.N()))
 	}
-	cp := h.MergePredLists(S)
+	cp := h.MergePredLists(S, h.Stats())
 	if cp.Size() > h.NumChains() {
 		t.Errorf("contour size %d exceeds chain count %d", cp.Size(), h.NumChains())
 	}

@@ -1,0 +1,191 @@
+package reach
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gtpq/internal/graph"
+)
+
+func TestKindsListsBuiltins(t *testing.T) {
+	kinds := Kinds()
+	has := func(k string) bool {
+		for _, x := range kinds {
+			if x == k {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("threehop") || !has("tc") {
+		t.Fatalf("Kinds() = %v, want threehop and tc", kinds)
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	g := graph.New(1, 0)
+	g.AddNode("a", nil)
+	g.Freeze()
+	if _, err := Build("nope", g, BuildOptions{}); err == nil || !strings.Contains(err.Error(), "unknown index kind") {
+		t.Fatalf("err = %v, want unknown-kind error", err)
+	}
+}
+
+func TestBuildDefaultKindIsThreeHop(t *testing.T) {
+	g := graph.New(1, 0)
+	g.AddNode("a", nil)
+	g.Freeze()
+	h, err := Build("", g, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind() != "threehop" {
+		t.Fatalf("default kind = %q, want threehop", h.Kind())
+	}
+}
+
+// TestParallelBuildMatchesSerial checks a parallel build answers every
+// pair identically to a serial one, for both backends, on random
+// digraphs (cyclic included).
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 25; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = randDAG(r, 2+r.Intn(50), 2+r.Intn(150))
+		} else {
+			g = randDigraph(r, 2+r.Intn(50), 2+r.Intn(150))
+		}
+		for _, kind := range Kinds() {
+			serial, err := Build(kind, g, BuildOptions{})
+			if err != nil {
+				t.Fatalf("trial %d %s serial: %v", trial, kind, err)
+			}
+			parallel, err := Build(kind, g, BuildOptions{Parallel: true})
+			if err != nil {
+				t.Fatalf("trial %d %s parallel: %v", trial, kind, err)
+			}
+			if serial.IndexSize() != parallel.IndexSize() {
+				t.Fatalf("trial %d %s: IndexSize %d (serial) vs %d (parallel)",
+					trial, kind, serial.IndexSize(), parallel.IndexSize())
+			}
+			var st Stats
+			for u := 0; u < g.N(); u++ {
+				for v := 0; v < g.N(); v++ {
+					a := serial.ReachesSt(graph.NodeID(u), graph.NodeID(v), &st)
+					b := parallel.ReachesSt(graph.NodeID(u), graph.NodeID(v), &st)
+					if a != b {
+						t.Fatalf("trial %d %s: Reaches(%d,%d) serial=%v parallel=%v",
+							trial, kind, u, v, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenericContoursMatchBruteForce checks the backend-opaque
+// PredContour/SuccContour probes of every registered backend against
+// brute-force traversal truth.
+func TestGenericContoursMatchBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(502))
+	for trial := 0; trial < 40; trial++ {
+		var g *graph.Graph
+		if trial%2 == 0 {
+			g = randDAG(r, 2+r.Intn(35), 2+r.Intn(100))
+		} else {
+			g = randDigraph(r, 2+r.Intn(35), 2+r.Intn(100))
+		}
+		k := 1 + r.Intn(6)
+		S := make([]graph.NodeID, k)
+		for i := range S {
+			S[i] = graph.NodeID(r.Intn(g.N()))
+		}
+		for _, kind := range Kinds() {
+			h, err := Build(kind, g, BuildOptions{})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, kind, err)
+			}
+			var st Stats
+			cp := h.PredContour(S, &st)
+			cs := h.SuccContour(S, &st)
+			for v := 0; v < g.N(); v++ {
+				nv := graph.NodeID(v)
+				if got, want := cp.ReachedFrom(nv, &st), contourWant(g, nv, S, "vToS"); got != want {
+					t.Fatalf("trial %d %s: PredContour.ReachedFrom(%d, S=%v)=%v want %v",
+						trial, kind, v, S, got, want)
+				}
+				if got, want := cs.ReachesNode(nv, &st), contourWant(g, nv, S, "sToV"); got != want {
+					t.Fatalf("trial %d %s: SuccContour.ReachesNode(%d, S=%v)=%v want %v",
+						trial, kind, v, S, got, want)
+				}
+			}
+			// Lookups can legitimately be zero on tiny graphs (empty
+			// lists), but probes must always be counted.
+			if st.Queries == 0 {
+				t.Fatalf("trial %d %s: contour probes charged no queries", trial, kind)
+			}
+		}
+	}
+}
+
+// TestConcurrentReadsOneIndex hammers a single built index from many
+// goroutines through the stats-sink methods; meaningful under -race.
+func TestConcurrentReadsOneIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(503))
+	g := randDigraph(r, 80, 240)
+	for _, kind := range Kinds() {
+		h, err := Build(kind, g, BuildOptions{Parallel: true})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		done := make(chan bool, 8)
+		for w := 0; w < 8; w++ {
+			go func(seed int64) {
+				rr := rand.New(rand.NewSource(seed))
+				var st Stats
+				ok := true
+				for i := 0; i < 200; i++ {
+					u := graph.NodeID(rr.Intn(g.N()))
+					v := graph.NodeID(rr.Intn(g.N()))
+					got := h.ReachesSt(u, v, &st)
+					want := bruteReaches(g, u, v)
+					if got != want {
+						ok = false
+					}
+					S := []graph.NodeID{u, v}
+					cp := h.PredContour(S, &st)
+					cs := h.SuccContour(S, &st)
+					w := graph.NodeID(rr.Intn(g.N()))
+					if cp.ReachedFrom(w, &st) != contourWant(g, w, S, "vToS") {
+						ok = false
+					}
+					if cs.ReachesNode(w, &st) != contourWant(g, w, S, "sToV") {
+						ok = false
+					}
+				}
+				done <- ok
+			}(int64(w))
+		}
+		for w := 0; w < 8; w++ {
+			if !<-done {
+				t.Fatalf("%s: concurrent reads produced wrong answers", kind)
+			}
+		}
+	}
+}
+
+// TestTCRefusesOversizedGraphs checks the registry surface returns an
+// error (not a panic) past the closure's SCC limit.
+func TestTCRefusesOversizedGraphs(t *testing.T) {
+	n := tcLimit + 1
+	g := graph.New(n, 0)
+	for i := 0; i < n; i++ {
+		g.AddNode("n", nil)
+	}
+	g.Freeze()
+	if _, err := Build("tc", g, BuildOptions{}); err == nil {
+		t.Fatal("expected an error building TC past its SCC limit")
+	}
+}

@@ -2,37 +2,57 @@ package reach
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"gtpq/internal/graph"
 )
 
-// TC is a bitset transitive closure over the SCC condensation. It is the
-// ground-truth oracle for the other indexes and the reference evaluator;
-// memory is quadratic in the SCC count, so construction refuses graphs
-// beyond a safety limit.
+// TC is a bitset transitive closure over the SCC condensation. It
+// doubles as the ground-truth oracle for the other indexes and as a
+// registered engine backend for mid-sized graphs: contour probes reduce
+// to word-parallel row/mask intersections. Memory is quadratic in the
+// SCC count, so construction refuses graphs beyond a safety limit.
+//
+// Like ThreeHop, a built TC is immutable; the *Stats-sink methods are
+// safe for concurrent use.
 type TC struct {
 	cond  *graph.Condensation
 	words int
 	rows  []uint64 // NumSCC() rows of `words` words; bit w set in row s iff s reaches w (s != w)
 	stats Stats
+
+	sizeOnce sync.Once
+	size     int
 }
 
 // tcLimit bounds the SCC count a TC will be built for (~50 MB of bits).
 const tcLimit = 20000
 
-// NewTC builds the transitive closure of g. It panics when the graph is
-// too large — the TC is a testing oracle, not a production index.
+// NewTC builds the transitive closure of g serially. It panics when the
+// graph is too large — use NewTCWith (or reach.Build("tc", ...)) for an
+// error instead.
 func NewTC(g *graph.Graph) *TC {
+	t, err := NewTCWith(g, BuildOptions{})
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// NewTCWith builds the transitive closure of g; with opt.Parallel the
+// rows of each SCC level are computed concurrently (a row needs only
+// the rows of strictly deeper levels).
+func NewTCWith(g *graph.Graph, opt BuildOptions) (*TC, error) {
+	g.Freeze()
 	cond := graph.Condense(g)
 	n := cond.NumSCC()
 	if n > tcLimit {
-		panic(fmt.Sprintf("reach: TC limited to %d SCCs, graph has %d", tcLimit, n))
+		return nil, fmt.Errorf("reach: TC limited to %d SCCs, graph has %d", tcLimit, n)
 	}
 	words := (n + 63) / 64
 	t := &TC{cond: cond, words: words, rows: make([]uint64, n*words)}
-	// Reverse topological order: successors first.
-	for i := len(cond.Topo) - 1; i >= 0; i-- {
-		s := cond.Topo[i]
+	step := func(s int32) {
 		row := t.row(s)
 		for _, w := range cond.Out[s] {
 			row[w/64] |= 1 << uint(w%64)
@@ -42,22 +62,160 @@ func NewTC(g *graph.Graph) *TC {
 			}
 		}
 	}
-	return t
+	revTopo := reverseOf(cond.Topo) // successors first
+	if !opt.Parallel {
+		for _, s := range revTopo {
+			step(s)
+		}
+		return t, nil
+	}
+	for _, bucket := range levelize(cond.Out, revTopo, n) {
+		b := bucket
+		parallelFor(len(b), func(i int) { step(b[i]) })
+	}
+	return t, nil
 }
 
 func (t *TC) row(s int32) []uint64 {
 	return t.rows[int(s)*t.words : (int(s)+1)*t.words]
 }
 
-// Reaches reports whether there is a non-empty path from u to v.
+// Kind returns the registry name of this backend.
+func (t *TC) Kind() string { return "tc" }
+
+// IndexSize returns the number of set closure bits (computed once,
+// lazily).
+func (t *TC) IndexSize() int {
+	t.sizeOnce.Do(func() {
+		for _, w := range t.rows {
+			t.size += bits.OnesCount64(w)
+		}
+	})
+	return t.size
+}
+
+// Reaches answers like ReachesSt but charges the index's own Stats;
+// retained for the single-threaded Index contract.
 func (t *TC) Reaches(u, v graph.NodeID) bool {
-	t.stats.Queries++
+	return t.ReachesSt(u, v, &t.stats)
+}
+
+// ReachesSt reports whether there is a non-empty path from u to v,
+// charging st.
+func (t *TC) ReachesSt(u, v graph.NodeID, st *Stats) bool {
+	st.Queries++
 	su, sv := t.cond.Comp[u], t.cond.Comp[v]
 	if su == sv {
 		return t.cond.Nontrivial(su)
 	}
+	st.Lookups++
 	return t.row(su)[sv/64]&(1<<uint(sv%64)) != 0
 }
 
-// Stats returns the lookup counters.
+// Stats returns the counters charged by the legacy Reaches.
 func (t *TC) Stats() *Stats { return &t.stats }
+
+// tcPred summarizes S as a bitset mask over its SCCs: v strictly
+// reaches S iff v's row intersects the mask, or v sits in a nontrivial
+// SCC of S.
+type tcPred struct {
+	t    *TC
+	mask []uint64
+	n    int // distinct SCCs in S
+}
+
+func (p tcPred) ReachedFrom(v graph.NodeID, st *Stats) bool {
+	st.Queries++
+	s := p.t.cond.Comp[v]
+	if p.mask[s/64]&(1<<uint(s%64)) != 0 && p.t.cond.Nontrivial(s) {
+		return true
+	}
+	row := p.t.row(s)
+	st.Lookups += int64(len(row))
+	for k, w := range row {
+		if w&p.mask[k] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (p tcPred) Size() int { return p.n }
+
+// tcSucc summarizes S as the union of its rows (everything S reaches)
+// plus the membership mask for the nontrivial-SCC case.
+type tcSucc struct {
+	t           *TC
+	mask, reach []uint64
+	n           int
+}
+
+func (s tcSucc) ReachesNode(v graph.NodeID, st *Stats) bool {
+	st.Queries++
+	st.Lookups++
+	sv := s.t.cond.Comp[v]
+	bit := uint64(1) << uint(sv%64)
+	if s.mask[sv/64]&bit != 0 && s.t.cond.Nontrivial(sv) {
+		return true
+	}
+	return s.reach[sv/64]&bit != 0
+}
+
+func (s tcSucc) Size() int { return s.n }
+
+// PredContour summarizes S for "v reaches S?" probes.
+func (t *TC) PredContour(S []graph.NodeID, st *Stats) PredContour {
+	p := tcPred{t: t, mask: make([]uint64, t.words)}
+	for _, v := range S {
+		s := t.cond.Comp[v]
+		if p.mask[s/64]&(1<<uint(s%64)) == 0 {
+			p.mask[s/64] |= 1 << uint(s%64)
+			p.n++
+			st.Lookups++
+		}
+	}
+	return p
+}
+
+// tcSuccOne is the singleton SuccContour: it aliases the source SCC's
+// closure row instead of copying it — matchgraph and hgjoin build one
+// per candidate node, so this path must not allocate per call.
+type tcSuccOne struct {
+	t *TC
+	s int32
+}
+
+func (c tcSuccOne) ReachesNode(v graph.NodeID, st *Stats) bool {
+	st.Queries++
+	st.Lookups++
+	sv := c.t.cond.Comp[v]
+	if sv == c.s {
+		return c.t.cond.Nontrivial(sv)
+	}
+	return c.t.row(c.s)[sv/64]&(1<<uint(sv%64)) != 0
+}
+
+func (c tcSuccOne) Size() int { return 1 }
+
+// SuccContour summarizes S for "S reaches v?" probes.
+func (t *TC) SuccContour(S []graph.NodeID, st *Stats) SuccContour {
+	if len(S) == 1 {
+		st.Lookups++
+		return tcSuccOne{t: t, s: t.cond.Comp[S[0]]}
+	}
+	c := tcSucc{t: t, mask: make([]uint64, t.words), reach: make([]uint64, t.words)}
+	for _, v := range S {
+		s := t.cond.Comp[v]
+		if c.mask[s/64]&(1<<uint(s%64)) != 0 {
+			continue // SCC already folded in
+		}
+		c.mask[s/64] |= 1 << uint(s%64)
+		c.n++
+		row := t.row(s)
+		st.Lookups += int64(len(row))
+		for k, w := range row {
+			c.reach[k] |= w
+		}
+	}
+	return c
+}

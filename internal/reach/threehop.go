@@ -1,6 +1,9 @@
 package reach
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"gtpq/internal/graph"
 )
 
@@ -25,6 +28,10 @@ type entry struct {
 // the suffix of v's chain starting at v (plus v's own position); the
 // complete predecessor list Y_v is the union of Lin over the prefix
 // ending at v. Skip pointers jump over positions with empty lists.
+//
+// A built index is immutable: the query methods taking a *Stats sink
+// (ReachesSt and the ChainIndex operations) are safe for concurrent
+// use. The legacy Reaches, charging the index's own Stats, is not.
 type ThreeHop struct {
 	g    *graph.Graph
 	cond *graph.Condensation
@@ -45,10 +52,19 @@ type ThreeHop struct {
 	stats Stats
 }
 
-// NewThreeHop builds the index for g. Construction is O(total reachable
-// chain entries) via sparse per-SCC contour maps that are freed as soon
-// as every dependent has consumed them.
+// NewThreeHop builds the index for g serially. Construction is O(total
+// reachable chain entries) via sparse per-SCC contour maps that are
+// freed as soon as every dependent has consumed them.
 func NewThreeHop(g *graph.Graph) *ThreeHop {
+	return NewThreeHopWith(g, BuildOptions{})
+}
+
+// NewThreeHopWith builds the index for g; with opt.Parallel the two
+// list sweeps run concurrently and each is sharded per SCC level. A
+// parallel build produces the same entry sets (and therefore identical
+// query answers) as a serial one; only within-list entry order, which
+// comes from map iteration either way, may differ.
+func NewThreeHopWith(g *graph.Graph, opt BuildOptions) *ThreeHop {
 	g.Freeze()
 	cond := graph.Condense(g)
 	n := cond.NumSCC()
@@ -56,8 +72,16 @@ func NewThreeHop(g *graph.Graph) *ThreeHop {
 	h.chains, h.chainOf, h.sidOf = chainDecompose(cond.Out, n)
 	h.lout = make([][]entry, n)
 	h.lin = make([][]entry, n)
-	h.buildOut()
-	h.buildIn()
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); h.buildOut(true) }()
+		go func() { defer wg.Done(); h.buildIn(true) }()
+		wg.Wait()
+	} else {
+		h.buildOut(false)
+		h.buildIn(false)
+	}
 	h.buildSkips()
 	return h
 }
@@ -65,16 +89,17 @@ func NewThreeHop(g *graph.Graph) *ThreeHop {
 // buildOut computes Lout by a reverse-topological sweep: ent(s) maps each
 // chain to the smallest position reachable from s (inclusive of s). The
 // map for s is dropped once all of s's predecessors have consumed it.
-func (h *ThreeHop) buildOut() {
+// With parallel set, SCCs are processed one out-level at a time, the
+// level's nodes sharded across goroutines (nodes of one level depend
+// only on strictly deeper levels).
+func (h *ThreeHop) buildOut(parallel bool) {
 	n := h.cond.NumSCC()
 	ent := make([]map[int32]int32, n)
 	pending := make([]int32, n) // remaining in-neighbors that still need ent[s]
 	for s := 0; s < n; s++ {
 		pending[s] = int32(len(h.cond.In[s]))
 	}
-	topo := h.cond.Topo
-	for i := len(topo) - 1; i >= 0; i-- {
-		s := topo[i]
+	step := func(s int32) {
 		m := map[int32]int32{h.chainOf[s]: h.sidOf[s]}
 		for _, w := range h.cond.Out[s] {
 			for c, sid := range ent[w] {
@@ -99,10 +124,11 @@ func (h *ThreeHop) buildOut() {
 			}
 			h.lout[s] = append(h.lout[s], entry{cid: c, sid: sid})
 		}
-		// Free contour maps nobody will read again.
+		// Free contour maps nobody will read again. The decrement comes
+		// after every read of ent[w] above, so under level-parallelism the
+		// last sibling to finish is the one that frees.
 		for _, w := range h.cond.Out[s] {
-			pending[w]--
-			if pending[w] == 0 {
+			if atomic.AddInt32(&pending[w], -1) == 0 {
 				ent[w] = nil
 			}
 		}
@@ -110,18 +136,30 @@ func (h *ThreeHop) buildOut() {
 			ent[s] = nil
 		}
 	}
+	revTopo := reverseOf(h.cond.Topo)
+	if !parallel {
+		for _, s := range revTopo {
+			step(s)
+		}
+		return
+	}
+	for _, bucket := range levelize(h.cond.Out, revTopo, n) {
+		b := bucket
+		parallelFor(len(b), func(i int) { step(b[i]) })
+	}
 }
 
 // buildIn computes Lin by a forward-topological sweep with ext(s): the
-// largest position per chain that reaches s (inclusive).
-func (h *ThreeHop) buildIn() {
+// largest position per chain that reaches s (inclusive). Parallel mode
+// shards per in-level, mirroring buildOut.
+func (h *ThreeHop) buildIn(parallel bool) {
 	n := h.cond.NumSCC()
 	ext := make([]map[int32]int32, n)
 	pending := make([]int32, n)
 	for s := 0; s < n; s++ {
 		pending[s] = int32(len(h.cond.Out[s]))
 	}
-	for _, s := range h.cond.Topo {
+	step := func(s int32) {
 		m := map[int32]int32{h.chainOf[s]: h.sidOf[s]}
 		for _, p := range h.cond.In[s] {
 			for c, sid := range ext[p] {
@@ -144,14 +182,23 @@ func (h *ThreeHop) buildIn() {
 			h.lin[s] = append(h.lin[s], entry{cid: c, sid: sid})
 		}
 		for _, p := range h.cond.In[s] {
-			pending[p]--
-			if pending[p] == 0 {
+			if atomic.AddInt32(&pending[p], -1) == 0 {
 				ext[p] = nil
 			}
 		}
 		if len(h.cond.Out[s]) == 0 {
 			ext[s] = nil
 		}
+	}
+	if !parallel {
+		for _, s := range h.cond.Topo {
+			step(s)
+		}
+		return
+	}
+	for _, bucket := range levelize(h.cond.In, h.cond.Topo, n) {
+		b := bucket
+		parallelFor(len(b), func(i int) { step(b[i]) })
 	}
 }
 
@@ -204,6 +251,9 @@ func (h *ThreeHop) Cond() *graph.Condensation { return h.cond }
 // NumChains returns the number of chains in the cover.
 func (h *ThreeHop) NumChains() int { return len(h.chains) }
 
+// Kind returns the registry name of this backend.
+func (h *ThreeHop) Kind() string { return "threehop" }
+
 // IndexSize returns the total number of Lin/Lout entries — the paper's
 // |Lin| + |Lout| measure.
 func (h *ThreeHop) IndexSize() int {
@@ -217,25 +267,32 @@ func (h *ThreeHop) IndexSize() int {
 	return n
 }
 
-// Stats returns the lookup counters.
+// Stats returns the counters charged by the legacy Reaches.
 func (h *ThreeHop) Stats() *Stats { return &h.stats }
 
-// Reaches reports whether there is a non-empty path from u to v,
+// Reaches answers like ReachesSt but charges the index's own Stats;
+// retained for the single-threaded Index contract.
+func (h *ThreeHop) Reaches(u, v graph.NodeID) bool {
+	return h.ReachesSt(u, v, &h.stats)
+}
+
+// ReachesSt reports whether there is a non-empty path from u to v,
 // following the paper's three-step 3-hop query: same-chain positions
 // compare by sequence number; otherwise the complete successor list of u
-// is matched against the complete predecessor list of v.
-func (h *ThreeHop) Reaches(u, v graph.NodeID) bool {
-	h.stats.Queries++
+// is matched against the complete predecessor list of v. Work is
+// charged to st.
+func (h *ThreeHop) ReachesSt(u, v graph.NodeID, st *Stats) bool {
+	st.Queries++
 	su, sv := h.cond.Comp[u], h.cond.Comp[v]
 	if su == sv {
 		return h.cond.Nontrivial(su)
 	}
-	return h.sccReaches(su, sv)
+	return h.sccReaches(su, sv, st)
 }
 
 // sccReaches answers reachability between two distinct SCCs (strict and
 // inclusive coincide there).
-func (h *ThreeHop) sccReaches(su, sv int32) bool {
+func (h *ThreeHop) sccReaches(su, sv int32, st *Stats) bool {
 	if h.chainOf[su] == h.chainOf[sv] {
 		return h.sidOf[su] < h.sidOf[sv]
 	}
@@ -243,7 +300,7 @@ func (h *ThreeHop) sccReaches(su, sv int32) bool {
 	x := map[int32]int32{h.chainOf[su]: h.sidOf[su]}
 	for s := h.firstOut(su); s != -1; s = h.skipOut[s] {
 		for _, e := range h.lout[s] {
-			h.stats.Lookups++
+			st.Lookups++
 			if cur, ok := x[e.cid]; !ok || e.sid < cur {
 				x[e.cid] = e.sid
 			}
@@ -255,7 +312,7 @@ func (h *ThreeHop) sccReaches(su, sv int32) bool {
 	}
 	for s := h.firstIn(sv); s != -1; s = h.skipIn[s] {
 		for _, e := range h.lin[s] {
-			h.stats.Lookups++
+			st.Lookups++
 			if sid, ok := x[e.cid]; ok && sid <= e.sid {
 				return true
 			}
