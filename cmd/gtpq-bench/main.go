@@ -6,6 +6,12 @@
 //	gtpq-bench                         # everything, default sizes
 //	gtpq-bench -exp f8a,f10            # selected experiments
 //	gtpq-bench -persons 1500 -queries 10 -persize 15   # paper-sized
+//	gtpq-bench -exp none -json bench.json              # machine-readable suite only
+//
+// -json writes the regression-trackable measurements (index build
+// times, per-query ns/op, stats counters, concurrency throughput) as
+// one JSON document for BENCH_*.json trajectory files; CI runs it as a
+// smoke test and archives the output.
 package main
 
 import (
@@ -22,11 +28,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gtpq-bench: ")
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,ix,conc,all")
-		persons = flag.Int("persons", 600, "XMark persons per scale unit")
-		queries = flag.Int("queries", 5, "query instances averaged per data point")
-		perSize = flag.Int("persize", 5, "arXiv queries kept per size and result group")
-		seed    = flag.Int64("seed", 17, "workload seed")
+		exp      = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,ix,conc,all (or none)")
+		persons  = flag.Int("persons", 600, "XMark persons per scale unit")
+		queries  = flag.Int("queries", 5, "query instances averaged per data point")
+		perSize  = flag.Int("persize", 5, "arXiv queries kept per size and result group")
+		seed     = flag.Int64("seed", 17, "workload seed")
+		jsonPath = flag.String("json", "", "write machine-readable records to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -59,11 +66,32 @@ func main() {
 	}
 	for _, name := range strings.Split(*exp, ",") {
 		name = strings.TrimSpace(name)
+		if name == "none" {
+			continue
+		}
 		f, ok := runners[name]
 		if !ok {
 			log.Fatalf("unknown experiment %q", name)
 		}
 		f()
 		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := r.WriteJSON(out); err != nil {
+			log.Fatal(err)
+		}
+		if *jsonPath != "-" {
+			log.Printf("wrote %s", *jsonPath)
+		}
 	}
 }

@@ -1,0 +1,137 @@
+// Command gtpq-serve runs the GTPQ query server over a directory of
+// datasets (see internal/catalog for the on-disk layout and
+// internal/server for the HTTP API).
+//
+// Usage:
+//
+//	gtpq-serve -data ./datasets                       # serve on :8080
+//	gtpq-serve -data ./datasets -addr :9000 -workers 16 -queue 128
+//	gtpq-serve -data ./datasets -snapshots -preload citations
+//	gtpq-serve -data ./datasets -index tc -parallel
+//
+// Datasets are `<name>.json` / `<name>.json.gz` graph files (the
+// graphio format) or `<name>.snap` index snapshots; snapshots load
+// without rebuilding the reachability index. With -snapshots, the
+// server writes a snapshot the first time it builds an index from raw
+// JSON, so subsequent cold starts are fast.
+//
+// API sketch (see the README for full curl examples):
+//
+//	POST /query     {"dataset":"d","query":"node x label=a output","timeout_ms":100}
+//	POST /query     {"dataset":"d","queries":["...","..."]}
+//	GET  /datasets
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/reach"
+	"gtpq/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gtpq-serve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataDir   = flag.String("data", "", "dataset directory (required)")
+		index     = flag.String("index", "", "reachability backend for fresh builds: "+strings.Join(reach.Kinds(), ", ")+" (default threehop; snapshots carry their own)")
+		parallel  = flag.Bool("parallel", false, "build indexes with multiple goroutines")
+		snapshots = flag.Bool("snapshots", false, "write <name>.snap after building an index from raw JSON")
+		preload   = flag.String("preload", "", "comma-separated datasets to load before listening ('all' for every dataset)")
+		workers   = flag.Int("workers", 0, "max concurrent evaluations (default GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "max evaluations waiting for a worker (default 4x workers)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTime   = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
+		maxRows   = flag.Int("max-rows", 10000, "max result rows returned per query (0: unlimited)")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cat, err := catalog.Open(*dataDir, catalog.Options{
+		Index:        *index,
+		Parallel:     *parallel,
+		AutoSnapshot: *snapshots,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, err := cat.Names()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("catalog %s: %d dataset(s): %s", *dataDir, len(names), strings.Join(names, ", "))
+
+	if *preload != "" {
+		targets := strings.Split(*preload, ",")
+		if *preload == "all" {
+			targets = names
+		}
+		for _, name := range targets {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			ds, err := cat.Acquire(name)
+			if err != nil {
+				log.Fatalf("preload %s: %v", name, err)
+			}
+			how := "built"
+			if ds.FromSnapshot {
+				how = "snapshot"
+			}
+			log.Printf("preloaded %s: %d nodes, %d edges, %s index (%s, %s)",
+				name, ds.Graph.N(), ds.Graph.M(), ds.Engine.H.Kind(), how,
+				ds.LoadTime.Round(time.Millisecond))
+			ds.Release() // stays cached
+		}
+	}
+
+	srv := server.New(cat, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		MaxRows:        *maxRows,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let
+	// in-flight evaluations run out their deadlines.
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), *maxTime)
+		defer cancel()
+		hs.Shutdown(ctx)
+		close(done)
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -7,6 +7,8 @@
 //	gtpq -data arxiv -query q.gtpq
 //	gtpq -data xmark -index tc -parallel -query q.gtpq   # alternate reachability backend
 //	echo "node x label=open_auction output" | gtpq -data xmark -query -
+//	gtpq -data xmark -save-snapshot x.snap -query q.gtpq # persist graph+index
+//	gtpq -data file -graph x.snap -query q.gtpq          # reload without rebuilding
 //
 // The DSL:
 //
@@ -14,9 +16,13 @@
 //	pnode <name> ...                  # predicate (filter) node
 //	pred  <name>: <formula>           # e.g.  bidder | !seller
 //	where <name>: attr>=value ...     # extra attribute comparisons
+//
+// A query that marks no node as output returns its root — ParseQuery,
+// the Builder, and Engine.Eval all apply the same default.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +38,7 @@ import (
 	"gtpq/internal/gtea"
 	"gtpq/internal/qlang"
 	"gtpq/internal/reach"
+	"gtpq/internal/snapshot"
 	"gtpq/internal/xmark"
 )
 
@@ -40,7 +47,7 @@ func main() {
 	log.SetPrefix("gtpq: ")
 	var (
 		data     = flag.String("data", "xmark", "dataset: xmark, arxiv, or file")
-		file     = flag.String("graph", "", "JSON graph file (with -data file)")
+		file     = flag.String("graph", "", "graph file (with -data file): JSON, gzipped JSON, or a .snap snapshot")
 		scale    = flag.Float64("scale", 1, "XMark scaling factor")
 		persons  = flag.Int("persons", 1000, "XMark persons per scale unit")
 		queryArg = flag.String("query", "", "query file in the qlang DSL ('-' for stdin)")
@@ -48,6 +55,7 @@ func main() {
 		minimize = flag.Bool("minimize", false, "minimize the query first (Algorithm 1)")
 		index    = flag.String("index", "", "reachability index backend: "+strings.Join(reach.Kinds(), ", ")+" (default threehop)")
 		parallel = flag.Bool("parallel", false, "build the index with multiple goroutines")
+		saveSnap = flag.String("save-snapshot", "", "write the graph and built index to this file (load it later with -data file)")
 	)
 	flag.Parse()
 	if *queryArg == "" {
@@ -74,6 +82,7 @@ func main() {
 	}
 
 	var g *graph.Graph
+	var eng *gtea.Engine
 	start := time.Now()
 	switch *data {
 	case "xmark":
@@ -88,33 +97,57 @@ func main() {
 			st.Nodes, st.Edges, st.Labels, time.Since(start).Round(time.Millisecond))
 	case "file":
 		if *file == "" {
-			log.Fatal("-data file requires -graph <path.json>")
+			log.Fatal("-data file requires -graph <path>")
 		}
-		f, err := os.Open(*file)
-		if err != nil {
+		var h reach.ContourIndex
+		var err error
+		g, h, err = snapshot.LoadFile(*file)
+		switch {
+		case err == nil:
+			// Snapshot: graph and index revived together, no build.
+			eng = gtea.NewWithIndex(g, h)
+			fmt.Printf("%s: %d nodes, %d edges, %s index (snapshot loaded in %s)\n",
+				*file, g.N(), g.M(), h.Kind(), time.Since(start).Round(time.Millisecond))
+		case errors.Is(err, snapshot.ErrNotSnapshot):
+			f, err := os.Open(*file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			g, err = graphio.Load(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: %d nodes, %d edges\n", *file, g.N(), g.M())
+		default:
 			log.Fatal(err)
 		}
-		g, err = graphio.Load(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s: %d nodes, %d edges\n", *file, g.N(), g.M())
 	default:
 		log.Fatalf("unknown dataset %q", *data)
 	}
 
-	start = time.Now()
-	eng, err := gtea.NewWithOptions(g, gtea.Options{Index: *index, Parallel: *parallel})
-	if err != nil {
-		log.Fatal(err)
+	if eng == nil {
+		start = time.Now()
+		var err error
+		eng, err = gtea.NewWithOptions(g, gtea.Options{Index: *index, Parallel: *parallel})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if th, ok := eng.H.(*reach.ThreeHop); ok {
+			fmt.Printf("%s index: %d chains, %d list entries (built in %s)\n",
+				eng.H.Kind(), th.NumChains(), th.IndexSize(), time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("%s index: %d elements (built in %s)\n",
+				eng.H.Kind(), eng.H.IndexSize(), time.Since(start).Round(time.Millisecond))
+		}
 	}
-	if th, ok := eng.H.(*reach.ThreeHop); ok {
-		fmt.Printf("%s index: %d chains, %d list entries (built in %s)\n",
-			eng.H.Kind(), th.NumChains(), th.IndexSize(), time.Since(start).Round(time.Millisecond))
-	} else {
-		fmt.Printf("%s index: %d elements (built in %s)\n",
-			eng.H.Kind(), eng.H.IndexSize(), time.Since(start).Round(time.Millisecond))
+
+	if *saveSnap != "" {
+		start = time.Now()
+		if err := snapshot.SaveFile(*saveSnap, g, eng.H); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s in %s\n", *saveSnap, time.Since(start).Round(time.Millisecond))
 	}
 
 	start = time.Now()

@@ -38,7 +38,9 @@
 package gtpq
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"gtpq/internal/core"
 	"gtpq/internal/graph"
@@ -46,6 +48,7 @@ import (
 	"gtpq/internal/logic"
 	"gtpq/internal/qlang"
 	"gtpq/internal/reach"
+	"gtpq/internal/snapshot"
 )
 
 // NodeID identifies a node of a Graph.
@@ -313,19 +316,56 @@ func IndexKinds() []string { return reach.Kinds() }
 // IndexKind reports which backend this engine evaluates over.
 func (e *Engine) IndexKind() string { return e.e.H.Kind() }
 
-// Eval evaluates q. Safe for concurrent use; the returned Stats are
-// specific to this call.
-func (e *Engine) Eval(q *Query) (*Result, error) {
-	if err := q.q.Validate(); err != nil {
+// Graph returns the data graph this engine evaluates over.
+func (e *Engine) Graph() *Graph { return &Graph{g: e.e.G} }
+
+// SaveSnapshot writes the engine's graph together with its built
+// reachability index to w (see internal/snapshot for the format).
+// LoadSnapshot restores the engine without re-running index
+// construction, so a server cold-starts in milliseconds.
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	return snapshot.Save(w, e.e.G, e.e.H)
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot and returns a
+// ready engine; the reachability index is revived, not rebuilt.
+func LoadSnapshot(r io.Reader) (*Engine, error) {
+	g, h, err := snapshot.Load(r)
+	if err != nil {
 		return nil, err
 	}
-	if len(q.q.Outputs()) == 0 {
-		return nil, fmt.Errorf("gtpq: query has no output nodes")
+	return &Engine{e: gtea.NewWithIndex(g, h)}, nil
+}
+
+// Eval evaluates q. Safe for concurrent use; the returned Stats are
+// specific to this call. A query with no output nodes returns its root
+// (the same default Builder.Build and ParseQuery apply).
+func (e *Engine) Eval(q *Query) (*Result, error) {
+	return e.EvalCtx(context.Background(), q)
+}
+
+// EvalCtx evaluates q under ctx: when the context is cancelled or its
+// deadline passes mid-evaluation, the work is aborted at the next
+// pruning or enumeration boundary and ctx's error returned. Safe for
+// concurrent use.
+func (e *Engine) EvalCtx(ctx context.Context, q *Query) (*Result, error) {
+	iq := q.q
+	if err := iq.Validate(); err != nil {
+		return nil, err
 	}
-	ans, st := e.e.EvalStats(q.q)
+	if len(iq.Outputs()) == 0 {
+		// Same root default as Builder.Build and ParseQuery; clone so a
+		// shared *Query is never mutated under a concurrent evaluation.
+		iq = iq.Clone()
+		iq.SetOutput(iq.Root)
+	}
+	ans, st, err := e.e.EvalStatsCtx(ctx, iq)
+	if err != nil {
+		return nil, err
+	}
 	cols := make([]string, len(ans.Out))
 	for i, u := range ans.Out {
-		cols[i] = q.q.Nodes[u].Name
+		cols[i] = iq.Nodes[u].Name
 	}
 	return &Result{
 		Columns: cols,

@@ -1,6 +1,9 @@
 package gtpq
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -273,5 +276,89 @@ pred x: y`)
 	close(bad)
 	for msg := range bad {
 		t.Fatal(msg)
+	}
+}
+
+// TestEvalDefaultsOutputsToRoot checks the output default is applied
+// uniformly: a query that reaches Eval with no outputs (possible via
+// WrapQuery or a hand-built core query) returns its root, exactly as
+// Builder.Build and ParseQuery default — and the shared query itself
+// is not mutated.
+func TestEvalDefaultsOutputsToRoot(t *testing.T) {
+	g, ids := demoGraph()
+	q, err := NewBuilder("x", "a").Filter("y", "c", "x", false).Predicate("x", "y").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the outputs Build defaulted, simulating WrapQuery callers.
+	for _, n := range q.Internal().Nodes {
+		n.Output = false
+	}
+	res, err := NewEngine(g).Eval(q)
+	if err != nil {
+		t.Fatalf("Eval rejected a query with no outputs: %v", err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "x" {
+		t.Fatalf("columns = %v, want [x]", res.Columns)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != ids[0] {
+		t.Fatalf("rows = %v, want [[a0]]", res.Rows)
+	}
+	if len(q.Internal().Outputs()) != 0 {
+		t.Fatal("Eval mutated the caller's query")
+	}
+}
+
+// TestEvalCtxPublicAPI checks context plumbing through the public
+// Engine: a cancelled context aborts with its error.
+func TestEvalCtxPublicAPI(t *testing.T) {
+	g, _ := demoGraph()
+	q, err := ParseQuery("node x label=a output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	if res, err := e.EvalCtx(ctx, q); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("live ctx: res=%v err=%v", res, err)
+	}
+	cancel()
+	if _, err := e.EvalCtx(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err=%v, want context.Canceled", err)
+	}
+}
+
+// TestSnapshotPublicAPI round-trips an engine through the exported
+// SaveSnapshot/LoadSnapshot pair.
+func TestSnapshotPublicAPI(t *testing.T) {
+	g, ids := demoGraph()
+	q, err := ParseQuery(`
+node x label=a output
+pnode y label=c parent=x edge=ad
+pred x: y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	var buf bytes.Buffer
+	if err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.IndexKind() != e.IndexKind() {
+		t.Fatalf("kind %q != %q", e2.IndexKind(), e.IndexKind())
+	}
+	if e2.Graph().N() != g.N() || e2.Graph().M() != g.M() {
+		t.Fatalf("graph shape changed: %d/%d", e2.Graph().N(), e2.Graph().M())
+	}
+	res, err := e2.Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != ids[0] {
+		t.Fatalf("rows after snapshot = %v", res.Rows)
 	}
 }

@@ -70,23 +70,27 @@ func (r *Runner) Concurrency() {
 	r.printf("== Concurrency: shared-engine Eval throughput, XMark scale %.1f ==\n", scale)
 	r.printf("%-10s %12s %12s\n", "goroutines", "total", "evals/s")
 	for _, workers := range concurrencyWorkers {
-		var wg sync.WaitGroup
-		elapsed := timeIt(func() {
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := 0; i < perWorker; i++ {
-						for _, q := range qs {
-							e.Eval(q)
-						}
-					}
-				}()
-			}
-			wg.Wait()
-		})
+		elapsed := timeIt(func() { runWorkers(e, qs, workers, perWorker) })
 		total := workers * perWorker * len(qs)
 		persec := float64(total) / elapsed.Seconds()
 		r.printf("%-10d %12s %12.1f\n", workers, fmtDur(elapsed), persec)
 	}
+}
+
+// runWorkers evaluates every query rounds times on each of workers
+// goroutines sharing one engine.
+func runWorkers(e *gtea.Engine, qs []*core.Query, workers, rounds int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				for _, q := range qs {
+					e.Eval(q)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gtea"
+	"gtpq/internal/queries"
+	"gtpq/internal/reach"
+)
+
+// Record is one machine-readable benchmark measurement, the unit of
+// the BENCH_*.json trajectory files. Text experiments (the paper's
+// tables and figures) stay human-oriented; Records cover the
+// regression-trackable core: per-backend build cost, per-query
+// evaluation latency, and the paper's stats counters.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Kind       string  `json:"kind,omitempty"`  // reachability backend
+	Query      string  `json:"query,omitempty"` // workload name
+	Scale      float64 `json:"scale,omitempty"`
+	Nodes      int     `json:"nodes,omitempty"`
+	Edges      int     `json:"edges,omitempty"`
+
+	NsPerOp int64 `json:"ns_per_op,omitempty"`
+	BuildNs int64 `json:"build_ns,omitempty"`
+
+	IndexSize    int   `json:"index_size,omitempty"`
+	Results      int64 `json:"results,omitempty"`
+	Input        int64 `json:"input,omitempty"`
+	IndexLookups int64 `json:"index_lookups,omitempty"`
+	Intermediate int64 `json:"intermediate,omitempty"`
+
+	Workers     int     `json:"workers,omitempty"`
+	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+}
+
+// jsonReport is the top-level shape of -json output.
+type jsonReport struct {
+	Config  Config   `json:"config"`
+	Records []Record `json:"records"`
+}
+
+// JSONRecords runs the machine-readable suite: for every registered
+// backend on the smallest XMark scale, an index-build record and one
+// eval record per workload query (averaged ns/op plus the stats
+// counters of the last run); plus the shared-engine concurrency
+// ladder.
+func (r *Runner) JSONRecords() []Record {
+	scale := r.Cfg.Scales[0]
+	g, _ := r.XMark(scale)
+	workloads := []struct {
+		name  string
+		build func(*rand.Rand) *core.Query
+	}{{"Q1", queries.XMarkQ1}, {"Q2", queries.XMarkQ2}, {"Q3", queries.XMarkQ3}}
+
+	var recs []Record
+	for _, kind := range reach.Kinds() {
+		var h reach.ContourIndex
+		var err error
+		buildT := timeIt(func() { h, err = reach.Build(kind, g, reach.BuildOptions{}) })
+		if err != nil {
+			continue // backend refuses this graph (e.g. tc size limit)
+		}
+		recs = append(recs, Record{
+			Experiment: "index_build",
+			Kind:       kind,
+			Scale:      scale,
+			Nodes:      g.N(),
+			Edges:      g.M(),
+			BuildNs:    buildT.Nanoseconds(),
+			IndexSize:  h.IndexSize(),
+		})
+		e := gtea.NewWithIndex(g, h)
+		for _, wl := range workloads {
+			var total time.Duration
+			var last gtea.Stats
+			for i := 0; i < r.Cfg.QueriesPerPoint; i++ {
+				q := wl.build(rand.New(rand.NewSource(r.Cfg.Seed + int64(i))))
+				total += timeIt(func() { _, last = e.EvalStats(q) })
+			}
+			recs = append(recs, Record{
+				Experiment:   "eval",
+				Kind:         kind,
+				Query:        wl.name,
+				Scale:        scale,
+				NsPerOp:      total.Nanoseconds() / int64(r.Cfg.QueriesPerPoint),
+				Results:      last.Results,
+				Input:        last.Input,
+				IndexLookups: last.Index,
+				Intermediate: last.Intermediate,
+			})
+		}
+	}
+
+	// Shared-engine throughput ladder (the "conc" experiment's shape).
+	e := r.GTEA(g)
+	qs := make([]*core.Query, r.Cfg.QueriesPerPoint)
+	for i := range qs {
+		qs[i] = queries.XMarkQ1(rand.New(rand.NewSource(r.Cfg.Seed + int64(i))))
+		e.Eval(qs[i]) // warm up
+	}
+	const perWorker = 2
+	for _, workers := range concurrencyWorkers {
+		elapsed := timeIt(func() { runWorkers(e, qs, workers, perWorker) })
+		total := workers * perWorker * len(qs)
+		recs = append(recs, Record{
+			Experiment:  "concurrency",
+			Kind:        e.H.Kind(),
+			Query:       "Q1",
+			Scale:       scale,
+			Workers:     workers,
+			NsPerOp:     elapsed.Nanoseconds() / int64(total),
+			EvalsPerSec: float64(total) / elapsed.Seconds(),
+		})
+	}
+	return recs
+}
+
+// WriteJSON writes the machine-readable suite as one JSON document.
+func (r *Runner) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Config: r.Cfg, Records: r.JSONRecords()})
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// TestJSONRecords smoke-tests the machine-readable suite at tiny
+// sizes: valid JSON, every backend represented, sane counters.
+func TestJSONRecords(t *testing.T) {
+	r := NewRunner(Config{PersonsPerUnit: 60, QueriesPerPoint: 2, Scales: []float64{0.5}}, io.Discard)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Config  Config   `json:"config"`
+		Records []Record `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Config.PersonsPerUnit != 60 {
+		t.Fatalf("config not embedded: %+v", report.Config)
+	}
+	byExp := map[string]int{}
+	kinds := map[string]bool{}
+	for _, rec := range report.Records {
+		byExp[rec.Experiment]++
+		if rec.Experiment == "index_build" {
+			kinds[rec.Kind] = true
+			if rec.BuildNs <= 0 || rec.IndexSize <= 0 || rec.Nodes <= 0 {
+				t.Errorf("degenerate build record: %+v", rec)
+			}
+		}
+		if rec.Experiment == "eval" && rec.NsPerOp <= 0 {
+			t.Errorf("degenerate eval record: %+v", rec)
+		}
+		if rec.Experiment == "concurrency" && (rec.Workers <= 0 || rec.EvalsPerSec <= 0) {
+			t.Errorf("degenerate concurrency record: %+v", rec)
+		}
+	}
+	if !kinds["threehop"] || !kinds["tc"] {
+		t.Fatalf("backends missing from index_build records: %v", kinds)
+	}
+	if byExp["eval"] < 6 || byExp["concurrency"] < 2 {
+		t.Fatalf("record counts: %v", byExp)
+	}
+}

@@ -1,0 +1,350 @@
+// Package catalog manages named datasets on disk for the serving
+// subsystem: a directory of graph files (`<name>.json`,
+// `<name>.json.gz`) and index snapshots (`<name>.snap`). Engines are
+// built or loaded lazily on first use, cached, and shared with
+// ref-counting; a changed source file (or an explicit Reload) hot-swaps
+// the dataset — in-flight users keep the engine they acquired, new
+// acquisitions get the fresh one.
+//
+// Snapshots make cold starts cheap: when `<name>.snap` exists and is
+// at least as new as the source graph, the engine is revived from it
+// with zero index-construction work; with AutoSnapshot set, the
+// catalog writes one the first time it has to build an index from raw
+// JSON.
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gtpq/internal/graph"
+	"gtpq/internal/graphio"
+	"gtpq/internal/gtea"
+	"gtpq/internal/snapshot"
+)
+
+// Options tune how the catalog builds engines.
+type Options struct {
+	// Index names the reachability backend used when building from raw
+	// graph JSON (empty: the default 3-hop index). Snapshots carry
+	// their own backend and win over this setting.
+	Index string
+	// Parallel builds indexes with multiple goroutines.
+	Parallel bool
+	// AutoSnapshot writes `<name>.snap` after an index is built from a
+	// raw graph file, so the next cold start skips construction.
+	AutoSnapshot bool
+}
+
+// Dataset is one acquired dataset: a graph plus a ready engine. It
+// stays valid until Release, even across a hot reload.
+type Dataset struct {
+	Name   string
+	Source string // file the engine came from
+	Graph  *graph.Graph
+	Engine *gtea.Engine
+	// FromSnapshot reports whether the engine was revived from a
+	// snapshot (no index construction) rather than built.
+	FromSnapshot bool
+	// LoadTime is how long the build or revive took.
+	LoadTime time.Duration
+
+	entry       *entry
+	releaseOnce sync.Once
+}
+
+// Release returns the dataset to the catalog; callers must not use it
+// afterwards. Release is idempotent.
+func (d *Dataset) Release() {
+	d.releaseOnce.Do(func() { d.entry.release() })
+}
+
+// Info describes one dataset for listings (GET /datasets).
+type Info struct {
+	Name         string `json:"name"`
+	Source       string `json:"source"`
+	Loaded       bool   `json:"loaded"`
+	Refs         int    `json:"refs,omitempty"`
+	Nodes        int    `json:"nodes,omitempty"`
+	Edges        int    `json:"edges,omitempty"`
+	IndexKind    string `json:"index_kind,omitempty"`
+	IndexSize    int    `json:"index_size,omitempty"`
+	FromSnapshot bool   `json:"from_snapshot,omitempty"`
+	LoadMillis   int64  `json:"load_ms,omitempty"`
+}
+
+// Catalog serves datasets out of one directory.
+type Catalog struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// entry is the cached (or in-flight) load of one dataset generation.
+// ready is closed when ds/err are final; refs counts Acquire minus
+// Release plus one for the cache itself while the entry is current.
+type entry struct {
+	c     *Catalog
+	name  string
+	ready chan struct{}
+	ds    *Dataset
+	err   error
+	refs  int
+	stale bool
+	// srcPath/srcMod identify the file generation this entry was
+	// loaded from; a differing mtime on Acquire marks the entry stale.
+	srcPath string
+	srcMod  time.Time
+}
+
+func (e *entry) release() {
+	e.c.mu.Lock()
+	defer e.c.mu.Unlock()
+	e.refs--
+}
+
+// Open returns a catalog over dir. The directory must exist; datasets
+// appearing in it later are picked up without reopening.
+func Open(dir string, opt Options) (*Catalog, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %v", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("catalog: %s is not a directory", dir)
+	}
+	return &Catalog{dir: dir, opt: opt, entries: map[string]*entry{}}, nil
+}
+
+// Dir returns the catalog's directory.
+func (c *Catalog) Dir() string { return c.dir }
+
+// suffixes are the recognized dataset file extensions, in resolution
+// preference order (snapshot first).
+var suffixes = []string{".snap", ".json.gz", ".json"}
+
+// Names lists the dataset names present on disk, sorted.
+func (c *Catalog) Names() ([]string, error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %v", err)
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		for _, suf := range suffixes {
+			if strings.HasSuffix(de.Name(), suf) {
+				name := strings.TrimSuffix(de.Name(), suf)
+				if name != "" && !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// resolve picks the file to load name from: the snapshot when it is at
+// least as new as the raw graph (or the only candidate), the raw graph
+// otherwise.
+func (c *Catalog) resolve(name string) (path string, mod time.Time, isSnap bool, err error) {
+	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return "", time.Time{}, false, fmt.Errorf("catalog: invalid dataset name %q", name)
+	}
+	var snapPath, rawPath string
+	var snapMod, rawMod time.Time
+	for _, suf := range suffixes {
+		p := filepath.Join(c.dir, name+suf)
+		st, err := os.Stat(p)
+		if err != nil {
+			continue
+		}
+		if suf == ".snap" {
+			snapPath, snapMod = p, st.ModTime()
+		} else if rawPath == "" {
+			rawPath, rawMod = p, st.ModTime()
+		}
+	}
+	switch {
+	case snapPath != "" && (rawPath == "" || !snapMod.Before(rawMod)):
+		return snapPath, snapMod, true, nil
+	case rawPath != "":
+		return rawPath, rawMod, false, nil
+	default:
+		return "", time.Time{}, false, fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+}
+
+// Acquire returns the named dataset, loading it on first use. The
+// caller must Release it. Concurrent Acquires of the same dataset
+// share one load; a source file newer than the cached engine triggers
+// a hot reload for new acquirers.
+func (c *Catalog) Acquire(name string) (*Dataset, error) {
+	path, mod, isSnap, rerr := c.resolve(name)
+
+	c.mu.Lock()
+	e := c.entries[name]
+	if e != nil && !e.stale {
+		select {
+		case <-e.ready:
+			// Loaded: hot-reload check against the current source file.
+			if rerr == nil && (e.srcPath != path || !e.srcMod.Equal(mod)) {
+				e.stale = true
+				e.refs-- // drop the cache's own reference
+			}
+		default:
+			// Load in flight: join it regardless of on-disk changes.
+		}
+	}
+	if e == nil || e.stale {
+		if rerr != nil {
+			c.mu.Unlock()
+			return nil, rerr
+		}
+		e = &entry{c: c, name: name, ready: make(chan struct{}), refs: 1, srcPath: path, srcMod: mod}
+		c.entries[name] = e
+		go e.load(c.opt, isSnap)
+	}
+	e.refs++
+	c.mu.Unlock()
+
+	<-e.ready
+	if e.err != nil {
+		c.mu.Lock()
+		e.refs--
+		if c.entries[name] == e {
+			delete(c.entries, name) // failed loads are not cached
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	// Hand out a per-acquire handle so Release is idempotent per
+	// caller while all handles share the engine.
+	return &Dataset{
+		Name:         e.ds.Name,
+		Source:       e.ds.Source,
+		Graph:        e.ds.Graph,
+		Engine:       e.ds.Engine,
+		FromSnapshot: e.ds.FromSnapshot,
+		LoadTime:     e.ds.LoadTime,
+		entry:        e,
+	}, nil
+}
+
+// load builds or revives the entry's engine; it runs once per entry.
+func (e *entry) load(opt Options, isSnap bool) {
+	defer close(e.ready)
+	start := time.Now()
+	if isSnap {
+		g, h, err := snapshot.LoadFile(e.srcPath)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.ds = &Dataset{
+			Name: e.name, Source: e.srcPath, Graph: g,
+			Engine: gtea.NewWithIndex(g, h), FromSnapshot: true,
+			LoadTime: time.Since(start),
+		}
+		return
+	}
+	f, err := os.Open(e.srcPath)
+	if err != nil {
+		e.err = err
+		return
+	}
+	g, err := graphio.Load(f)
+	f.Close()
+	if err != nil {
+		e.err = fmt.Errorf("%s: %w", e.srcPath, err)
+		return
+	}
+	eng, err := gtea.NewWithOptions(g, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+	if err != nil {
+		e.err = fmt.Errorf("%s: %w", e.srcPath, err)
+		return
+	}
+	e.ds = &Dataset{
+		Name: e.name, Source: e.srcPath, Graph: g, Engine: eng,
+		LoadTime: time.Since(start),
+	}
+	if opt.AutoSnapshot {
+		// Best effort; serving works without it. The snapshot is
+		// stamped no newer than the source so resolve keeps preferring
+		// fresher raw files, and the entry's identity moves to the
+		// snapshot — resolve will return it from now on, and without
+		// this the next Acquire would mistake the path change for a
+		// source update and throw the just-built engine away.
+		snapPath := filepath.Join(e.c.dir, e.name+".snap")
+		if err := snapshot.SaveFile(snapPath, g, eng.H); err == nil {
+			if err := os.Chtimes(snapPath, e.srcMod, e.srcMod); err == nil {
+				e.srcPath = snapPath // published by close(e.ready)
+			}
+		}
+	}
+}
+
+// Reload marks the named dataset stale: current holders keep their
+// engine, the next Acquire loads fresh.
+func (c *Catalog) Reload(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[name]; e != nil && !e.stale {
+		e.stale = true
+		select {
+		case <-e.ready:
+			e.refs-- // drop the cache's own reference
+		default:
+			// In-flight load: it keeps its cache reference until the
+			// next Acquire notices the staleness.
+		}
+	}
+}
+
+// List describes every dataset on disk, merged with cache state.
+func (c *Catalog) List() ([]Info, error) {
+	names, err := c.Names()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]Info, 0, len(names))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range names {
+		info := Info{Name: name}
+		if path, _, _, err := c.resolve(name); err == nil {
+			info.Source = filepath.Base(path)
+		}
+		if e := c.entries[name]; e != nil && !e.stale {
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					info.Loaded = true
+					info.Refs = e.refs - 1 // exclude the cache's own reference
+					info.Nodes = e.ds.Graph.N()
+					info.Edges = e.ds.Graph.M()
+					info.IndexKind = e.ds.Engine.H.Kind()
+					info.IndexSize = e.ds.Engine.H.IndexSize()
+					info.FromSnapshot = e.ds.FromSnapshot
+					info.LoadMillis = e.ds.LoadTime.Milliseconds()
+				}
+			default:
+			}
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}

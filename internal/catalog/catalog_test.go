@@ -1,0 +1,251 @@
+package catalog
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gtpq/internal/graph"
+	"gtpq/internal/graphio"
+	"gtpq/internal/qlang"
+	"gtpq/internal/reach"
+)
+
+// writeGraph writes a small labeled graph as <name>.json (or .json.gz)
+// into dir: labels[i] chained by tree edges.
+func writeGraph(t *testing.T, dir, file string, labels []string) {
+	t.Helper()
+	g := graph.New(len(labels), len(labels)-1)
+	for _, l := range labels {
+		g.AddNode(l, nil)
+	}
+	for i := 0; i+1 < len(labels); i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g.Freeze()
+	var buf bytes.Buffer
+	if err := graphio.Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if filepath.Ext(file) == ".gz" {
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		zw.Write(data)
+		zw.Close()
+		data = zbuf.Bytes()
+	}
+	if err := os.WriteFile(filepath.Join(dir, file), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcquireBuildsLazilyAndCaches(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir, "ab.json", []string{"a", "b", "b"})
+	writeGraph(t, dir, "zipped.json.gz", []string{"a", "a", "b"})
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "ab" || names[1] != "zipped" {
+		t.Fatalf("Names = %v", names)
+	}
+
+	ds, err := c.Acquire("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Release()
+	if ds.Graph.N() != 3 || ds.FromSnapshot {
+		t.Fatalf("ds: n=%d fromSnapshot=%v", ds.Graph.N(), ds.FromSnapshot)
+	}
+	q, err := qlang.Parse("node x label=a output\npnode y label=b parent=x edge=ad\npred x: y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Engine.Eval(q).Len(); got != 1 {
+		t.Fatalf("eval on acquired dataset: %d results, want 1", got)
+	}
+
+	// Second acquire shares the cached engine.
+	ds2, err := c.Acquire("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Engine != ds.Engine {
+		t.Fatal("second Acquire built a new engine")
+	}
+	ds2.Release()
+	ds2.Release() // idempotent
+
+	// Gzipped dataset loads too.
+	dz, err := c.Acquire("zipped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dz.Graph.N() != 3 {
+		t.Fatalf("gzipped dataset: n=%d", dz.Graph.N())
+	}
+	dz.Release()
+
+	if _, err := c.Acquire("missing"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := c.Acquire("../etc/passwd"); err == nil {
+		t.Fatal("path-escaping dataset name accepted")
+	}
+}
+
+// TestConcurrentAcquireSharesOneLoad races many Acquires of a cold
+// dataset and checks exactly one engine gets built.
+func TestConcurrentAcquireSharesOneLoad(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir, "d.json", []string{"a", "b", "a", "b"})
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := reach.BuildCount()
+	const workers = 16
+	var wg sync.WaitGroup
+	dss := make([]*Dataset, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ds, err := c.Acquire("d")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dss[w] = ds
+		}(w)
+	}
+	wg.Wait()
+	if built := reach.BuildCount() - before; built != 1 {
+		t.Fatalf("%d index builds for %d concurrent acquires, want 1", built, workers)
+	}
+	for _, ds := range dss {
+		if ds != nil {
+			ds.Release()
+		}
+	}
+}
+
+// TestSnapshotPreferredAndZeroRebuild checks AutoSnapshot writes a
+// snapshot and a fresh catalog revives from it without construction.
+func TestSnapshotPreferredAndZeroRebuild(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir, "d.json", []string{"a", "b", "c", "a"})
+	c1, err := Open(dir, Options{AutoSnapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c1.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind := ds.Engine.H.Kind()
+	firstEngine := ds.Engine
+	ds.Release()
+	if _, err := os.Stat(filepath.Join(dir, "d.snap")); err != nil {
+		t.Fatalf("AutoSnapshot wrote no snapshot: %v", err)
+	}
+
+	// The just-built engine must survive the snapshot write: the next
+	// Acquire must reuse it, not mistake the .json -> .snap source
+	// change for a hot reload.
+	again, err := c1.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Engine != firstEngine {
+		t.Fatal("Acquire after AutoSnapshot discarded the just-built engine")
+	}
+	again.Release()
+
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := reach.BuildCount()
+	ds2, err := c2.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Release()
+	if built := reach.BuildCount() - before; built != 0 {
+		t.Fatalf("snapshot acquire performed %d index builds, want 0", built)
+	}
+	if !ds2.FromSnapshot || ds2.Engine.H.Kind() != kind {
+		t.Fatalf("FromSnapshot=%v kind=%q want true/%q", ds2.FromSnapshot, ds2.Engine.H.Kind(), kind)
+	}
+}
+
+// TestHotReload checks that a changed source file swaps the engine for
+// new acquirers while old holders keep theirs, and that List reports
+// cache state.
+func TestHotReload(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir, "d.json", []string{"a", "b"})
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := c.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Graph.N() != 2 {
+		t.Fatalf("first load: n=%d", old.Graph.N())
+	}
+
+	// Rewrite the source with a different shape and a future mtime (the
+	// rewrite may land within the same filesystem-timestamp tick).
+	writeGraph(t, dir, "d.json", []string{"a", "b", "c"})
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(filepath.Join(dir, "d.json"), future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := c.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Graph.N() != 3 {
+		t.Fatalf("hot reload: n=%d, want 3", fresh.Graph.N())
+	}
+	if old.Graph.N() != 2 || old.Engine == fresh.Engine {
+		t.Fatal("old holder lost its engine across the hot reload")
+	}
+
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].Loaded || infos[0].Nodes != 3 || infos[0].Refs != 1 {
+		t.Fatalf("List = %+v", infos)
+	}
+	old.Release()
+	fresh.Release()
+
+	// Explicit Reload also swaps.
+	e1, _ := c.Acquire("d")
+	c.Reload("d")
+	e2, _ := c.Acquire("d")
+	if e1.Engine == e2.Engine {
+		t.Fatal("Reload did not swap the engine")
+	}
+	e1.Release()
+	e2.Release()
+}

@@ -13,9 +13,15 @@
 // Edge pairs are [from, to] node indices; "refs" lists ID/IDREF (cross)
 // edges. Numeric attribute values become numbers, everything else
 // strings.
+//
+// Load transparently accepts gzip-compressed input (sniffed by the
+// 0x1f 0x8b magic bytes), so `.json.gz` files work everywhere a plain
+// `.json` does.
 package graphio
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,8 +41,21 @@ type jsonGraph struct {
 	Refs  [][2]int   `json:"refs,omitempty"`
 }
 
-// Load reads a JSON graph.
+// Load reads a JSON graph, gzip-compressed or plain.
 func Load(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: gzip: %v", err)
+		}
+		defer zr.Close()
+		return load(zr)
+	}
+	return load(br)
+}
+
+func load(r io.Reader) (*graph.Graph, error) {
 	var jg jsonGraph
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&jg); err != nil {
@@ -62,20 +81,23 @@ func Load(r io.Reader) (*graph.Graph, error) {
 		}
 		g.AddNode(n.Label, attrs)
 	}
-	check := func(e [2]int) error {
-		if e[0] < 0 || e[0] >= len(jg.Nodes) || e[1] < 0 || e[1] >= len(jg.Nodes) {
-			return fmt.Errorf("graphio: edge %v out of range (%d nodes)", e, len(jg.Nodes))
+	check := func(list string, i int, e [2]int) error {
+		for _, v := range e {
+			if v < 0 || v >= len(jg.Nodes) {
+				return fmt.Errorf("graphio: %s[%d] = [%d, %d] references node %d, but the graph has only %d nodes (valid indices are 0..%d)",
+					list, i, e[0], e[1], v, len(jg.Nodes), len(jg.Nodes)-1)
+			}
 		}
 		return nil
 	}
-	for _, e := range jg.Edges {
-		if err := check(e); err != nil {
+	for i, e := range jg.Edges {
+		if err := check("edges", i, e); err != nil {
 			return nil, err
 		}
 		g.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
 	}
-	for _, e := range jg.Refs {
-		if err := check(e); err != nil {
+	for i, e := range jg.Refs {
+		if err := check("refs", i, e); err != nil {
 			return nil, err
 		}
 		g.AddCrossEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"compress/gzip"
 	"strings"
 	"testing"
 
@@ -86,6 +87,54 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if v, ok := g2.Attr(0, "year"); !ok || v.Num != 2005 {
 		t.Error("attr lost in round trip")
+	}
+}
+
+// TestLoadGzip checks that gzip-compressed graph JSON is sniffed by
+// magic bytes and decompressed transparently.
+func TestLoadGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(sample)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("gzip load: N=%d M=%d", g.N(), g.M())
+	}
+	if g.EdgeKindOf(1, 2) != graph.CrossEdge {
+		t.Error("ref edge lost through gzip")
+	}
+}
+
+// TestEdgeRangeErrorIsClear checks the out-of-range diagnostics name
+// the list, position, and valid index range.
+func TestEdgeRangeErrorIsClear(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{`{"nodes": [{"label":"a"},{"label":"b"}], "edges": [[0,1],[1,7]]}`,
+			[]string{"edges[1]", "[1, 7]", "node 7", "2 nodes", "0..1"}},
+		{`{"nodes": [{"label":"a"}], "refs": [[-1,0]]}`,
+			[]string{"refs[0]", "node -1"}},
+	}
+	for _, c := range cases {
+		_, err := Load(strings.NewReader(c.src))
+		if err == nil {
+			t.Fatalf("Load(%q) should fail", c.src)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("error %q does not mention %q", err, w)
+			}
+		}
 	}
 }
 

@@ -19,6 +19,7 @@
 package gtea
 
 import (
+	"context"
 	"time"
 
 	"gtpq/internal/core"
@@ -109,6 +110,50 @@ type evalContext struct {
 
 	stat Stats
 	rst  reach.Stats // per-call index-lookup sink
+
+	// ctx, when non-nil, is polled at pruning-round and enumeration
+	// boundaries (and every opsPerCtxCheck units of inner-loop work) so
+	// deadlines and cancellation abort long evaluations promptly. err
+	// latches the first context error; once set, every phase bails out.
+	ctx context.Context
+	err error
+	ops int
+}
+
+// opsPerCtxCheck spaces the in-loop context polls: power of two, large
+// enough that Err() is off the hot path, small enough that candidate
+// scans and tuple enumeration abort within microseconds of a deadline.
+const opsPerCtxCheck = 1024
+
+// cancelled polls the context (if any), latching its error.
+func (ec *evalContext) cancelled() bool {
+	if ec.ctx == nil {
+		return false
+	}
+	if ec.err != nil {
+		return true
+	}
+	if err := ec.ctx.Err(); err != nil {
+		ec.err = err
+		return true
+	}
+	return false
+}
+
+// tick is the inner-loop variant of cancelled: it only polls the
+// context every opsPerCtxCheck calls.
+func (ec *evalContext) tick() bool {
+	if ec.ctx == nil {
+		return false
+	}
+	if ec.err != nil {
+		return true
+	}
+	ec.ops++
+	if ec.ops&(opsPerCtxCheck-1) != 0 {
+		return false
+	}
+	return ec.cancelled()
 }
 
 func (e *Engine) newContext() *evalContext {
@@ -130,8 +175,31 @@ func (e *Engine) Eval(q *core.Query) *core.Answer {
 // counters of this call. Safe for concurrent use: counters are
 // per-call, never shared engine state.
 func (e *Engine) EvalStats(q *core.Query) (*core.Answer, Stats) {
+	ans, st, _ := e.EvalStatsCtx(context.Background(), q)
+	return ans, st
+}
+
+// EvalCtx evaluates q under ctx: deadlines and cancellation are
+// honored at pruning-round and enumeration boundaries, aborting the
+// evaluation with ctx's error. Safe for concurrent use.
+func (e *Engine) EvalCtx(ctx context.Context, q *core.Query) (*core.Answer, error) {
+	ans, _, err := e.EvalStatsCtx(ctx, q)
+	return ans, err
+}
+
+// EvalStatsCtx evaluates q under ctx and returns the answer and the
+// per-call cost counters. When ctx is cancelled (or its deadline
+// passes) mid-evaluation, the partial answer is discarded and ctx's
+// error returned; the counters still report the work performed up to
+// the abort. Safe for concurrent use.
+func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, Stats, error) {
 	start := time.Now()
 	ec := e.newContext()
+	// Done() is nil exactly for never-cancellable contexts (Background,
+	// TODO, value-only chains): skip all polling overhead for them.
+	if ctx != nil && ctx.Done() != nil {
+		ec.ctx = ctx
+	}
 
 	outs := q.Outputs()
 	ans := core.NewAnswer(outs)
@@ -143,26 +211,30 @@ func (e *Engine) EvalStats(q *core.Query) (*core.Answer, Stats) {
 
 	pruneStart := time.Now()
 	ec.pruneDownward(q)
-	if len(ec.mat[q.Root]) == 0 {
+	if ec.err == nil && len(ec.mat[q.Root]) > 0 {
+		prime := ec.primeSubtree(q, outs)
+		ec.pruneUpward(q, prime)
 		ec.stat.PruneTime = time.Since(pruneStart)
-		ec.stat.Index = ec.rst.Lookups
-		ec.stat.TotalTime = time.Since(start)
-		ans.Canonicalize()
-		return ans, ec.stat
+		if ec.err == nil {
+			// Shrink and enumerate.
+			comps, singles := ec.shrink(q, prime, outs)
+			mg := ec.buildMatchingGraph(q, comps)
+			if ec.err == nil {
+				ec.collectAll(q, ans, comps, singles, mg)
+			}
+		}
+	} else {
+		ec.stat.PruneTime = time.Since(pruneStart)
 	}
-	prime := ec.primeSubtree(q, outs)
-	ec.pruneUpward(q, prime)
-	ec.stat.PruneTime = time.Since(pruneStart)
-
-	// Shrink and enumerate.
-	comps, singles := ec.shrink(q, prime, outs)
-	mg := ec.buildMatchingGraph(q, comps)
-	ec.collectAll(q, ans, comps, singles, mg)
 
 	ec.stat.Index = ec.rst.Lookups
-	ec.stat.Results = int64(ans.Len())
 	ec.stat.TotalTime = time.Since(start)
-	return ans, ec.stat
+	if ec.err != nil {
+		return nil, ec.stat, ec.err
+	}
+	ans.Canonicalize()
+	ec.stat.Results = int64(ans.Len())
+	return ans, ec.stat, nil
 }
 
 // FilterOnly runs only the two pruning rounds and returns the surviving

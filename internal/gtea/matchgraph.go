@@ -131,6 +131,9 @@ func (ec *evalContext) buildMatchingGraph(q *core.Query, comps []component) *mat
 				}
 			}
 			for _, v := range ec.mat[u] {
+				if ec.tick() {
+					return mg
+				}
 				ec.stat.Input++
 				lists := make([][]graph.NodeID, len(kids))
 				var cs reach.SuccContour
@@ -203,6 +206,9 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 	memo := make(map[memoKey][][]graph.NodeID)
 	var collect func(u int, v graph.NodeID) [][]graph.NodeID
 	collect = func(u int, v graph.NodeID) [][]graph.NodeID {
+		if ec.tick() {
+			return nil
+		}
 		key := memoKey{u, v}
 		if r, ok := memo[key]; ok {
 			return r
@@ -219,6 +225,9 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 				seen := make(map[string]bool)
 				for _, w := range lists[i] {
 					for _, t := range collect(kids[i], w) {
+						if ec.tick() {
+							return nil
+						}
 						k := tupleKey(t)
 						if !seen[k] {
 							seen[k] = true
@@ -264,6 +273,9 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 		seen := make(map[string]bool)
 		var all [][]graph.NodeID
 		for _, v := range ec.mat[comp.root] {
+			if ec.err != nil {
+				return
+			}
 			for _, t := range collect(comp.root, v) {
 				k := tupleKey(t)
 				if !seen[k] {
@@ -287,6 +299,9 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 	}
 	var emit func(ci int)
 	emit = func(ci int) {
+		if ec.tick() {
+			return
+		}
 		if ci == len(perComp) {
 			ans.Add(append([]graph.NodeID(nil), tuple...))
 			return

@@ -20,6 +20,9 @@ import (
 // anyway under negation.
 func (ec *evalContext) pruneDownward(q *core.Query) {
 	for _, u := range q.PostOrder() {
+		if ec.cancelled() {
+			return
+		}
 		n := q.Nodes[u]
 		if len(n.Children) == 0 {
 			ec.matSet[u] = toSet(ec.mat[u])
@@ -70,6 +73,9 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 				walker = ec.ch.NewOutWalker(&ec.rst)
 			}
 			for _, v := range bucket {
+				if ec.tick() {
+					return
+				}
 				ec.stat.Input++
 				// PC children: exact adjacency, never inherited.
 				for _, c := range pcKids {
@@ -156,6 +162,9 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 // decomposition requires children of singletons to be upward-clean too.
 func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 	for _, u := range q.PreOrder() {
+		if ec.cancelled() {
+			return
+		}
 		if !prime[u] || len(ec.mat[u]) == 0 {
 			continue
 		}
@@ -168,6 +177,9 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 			if q.Nodes[c].PEdge == core.PC {
 				keep := ec.mat[c][:0]
 				for _, v := range ec.mat[c] {
+					if ec.tick() {
+						return
+					}
 					ec.stat.Input++
 					for _, w := range ec.g.In(v) {
 						if ec.matSet[u][w] {
@@ -183,6 +195,9 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 			if ec.opt.NoContours {
 				keep := ec.mat[c][:0]
 				for _, v := range ec.mat[c] {
+					if ec.tick() {
+						return
+					}
 					ec.stat.Input++
 					for _, w := range ec.mat[u] {
 						if ec.h.ReachesSt(w, v, &ec.rst) {
@@ -203,6 +218,9 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 				}
 				keep := ec.mat[c][:0]
 				for _, v := range ec.mat[c] {
+					if ec.tick() {
+						return
+					}
 					ec.stat.Input++
 					if gcs.ReachesNode(v, &ec.rst) {
 						keep = append(keep, v)
@@ -223,6 +241,9 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 				walker := ec.ch.NewInWalker(&ec.rst)
 				reached := false
 				for _, v := range bucket {
+					if ec.tick() {
+						return
+					}
 					ec.stat.Input++
 					if reached {
 						keep = append(keep, v)

@@ -1,0 +1,80 @@
+package qlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives qlang.Parse with arbitrary input (`go test -fuzz
+// FuzzParse ./internal/qlang`). Parse must never panic or hang, and
+// every accepted query must satisfy its own invariants: a root, a
+// non-empty output set (the root default), and Validate passing —
+// these are what downstream evaluation relies on. Format of an
+// accepted query must not panic either (its output is best-effort
+// round-trippable, not guaranteed for adversarial node names).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"node x label=a output",
+		"node x label=a\nnode y label=b parent=x edge=pc output",
+		"node x label=a output\npnode y label=b parent=x edge=ad\npred x: y",
+		"node x label=a output\nnode y label=b parent=x edge=pc ref\nwhere y: year>=2000 name!=alice",
+		"node x label=a\npnode p label=b parent=x\npnode q label=c parent=x\npred x: p | !q",
+		"node x\nnode x", // duplicate
+		"pnode x label=a", // predicate root
+		"node x parent=ghost",
+		"where x: year>",
+		"pred x",
+		"node x label=a output\npred x: (",
+		"bogus directive",
+		"node x label=a\u0000 output",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			if q != nil {
+				t.Fatalf("Parse returned both a query and error %v", err)
+			}
+			return
+		}
+		if q.Root < 0 || q.Root >= len(q.Nodes) {
+			t.Fatalf("accepted query has root %d of %d nodes", q.Root, len(q.Nodes))
+		}
+		if len(q.Outputs()) == 0 {
+			t.Fatalf("accepted query has no outputs (root default missing):\n%s", src)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails Validate: %v\n%s", err, src)
+		}
+		out := Format(q)
+		// Format emits one directive per line; reparsing is best-effort
+		// (adversarial names can collide with the syntax), but for the
+		// common case of word-shaped names it must round-trip.
+		if plainNames(q) {
+			q2, err := Parse(out)
+			if err != nil {
+				t.Fatalf("Format output not reparsable: %v\n-- source --\n%s\n-- formatted --\n%s", err, src, out)
+			}
+			if q2.Size() != q.Size() {
+				t.Fatalf("Format round trip changed size %d -> %d:\n%s", q.Size(), q2.Size(), out)
+			}
+		}
+	})
+}
+
+// plainNames reports whether every node name and label is free of
+// characters that collide with the DSL syntax.
+func plainNames(q interface{ NameToID() map[string]int }) bool {
+	for name := range q.NameToID() {
+		if name == "" || strings.ContainsAny(name, "=:#()|&!<>\u0000 \t\r\n") ||
+			name == "output" || name == "ref" || strings.HasPrefix(name, "label=") ||
+			strings.HasPrefix(name, "parent=") || strings.HasPrefix(name, "edge=") {
+			return false
+		}
+	}
+	return true
+}

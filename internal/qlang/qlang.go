@@ -15,6 +15,10 @@
 // edge from the parent as an ID/IDREF reference. `pred` attaches a
 // structural predicate (formula over child node names with ! & | and
 // parentheses); `where` adds attribute comparisons.
+//
+// A query that marks no node `output` returns its root: Parse applies
+// the same root default as the programmatic Builder and Engine.Eval,
+// so the three entry points agree.
 package qlang
 
 import (

@@ -1,0 +1,282 @@
+package reach
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gtpq/internal/graph"
+)
+
+// Codec (un)marshals a built index of one kind. Marshal serializes the
+// index structure only — the graph is stored separately (snapshots
+// carry both) and is handed back to Unmarshal, which must return an
+// index answering identically to a fresh build without redoing
+// construction work. The SCC condensation is intentionally not part of
+// the payload: graph.Condense is deterministic for a fixed frozen
+// graph and costs O(V+E), negligible next to chain covering or list
+// sweeps, so Unmarshal recomputes it.
+type Codec struct {
+	// Marshal serializes h (whose Kind matches the registration).
+	Marshal func(h ContourIndex) ([]byte, error)
+	// Unmarshal revives an index over g from data.
+	Unmarshal func(g *graph.Graph, data []byte) (ContourIndex, error)
+}
+
+// RegisterCodec adds the (un)marshaling hooks for kind; like Register,
+// it panics on duplicates.
+func RegisterCodec(kind string, c Codec) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := codecs[kind]; dup {
+		panic(fmt.Sprintf("reach: duplicate codec for index kind %q", kind))
+	}
+	codecs[kind] = c
+}
+
+// HasCodec reports whether kind has registered snapshot hooks.
+func HasCodec(kind string) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := codecs[kind]
+	return ok
+}
+
+// MarshalIndex serializes h using the codec registered for its kind.
+func MarshalIndex(h ContourIndex) ([]byte, error) {
+	registryMu.RLock()
+	c, ok := codecs[h.Kind()]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("reach: index kind %q has no snapshot codec", h.Kind())
+	}
+	return c.Marshal(h)
+}
+
+// UnmarshalIndex revives a kind index over g from data without
+// rebuilding it.
+func UnmarshalIndex(kind string, g *graph.Graph, data []byte) (ContourIndex, error) {
+	registryMu.RLock()
+	c, ok := codecs[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("reach: index kind %q has no snapshot codec", kind)
+	}
+	return c.Unmarshal(g, data)
+}
+
+func init() {
+	RegisterCodec("threehop", Codec{
+		Marshal: func(h ContourIndex) ([]byte, error) {
+			th, ok := h.(*ThreeHop)
+			if !ok {
+				return nil, fmt.Errorf("reach: threehop codec got %T", h)
+			}
+			return th.MarshalBinary()
+		},
+		Unmarshal: unmarshalThreeHop,
+	})
+	RegisterCodec("tc", Codec{
+		Marshal: func(h ContourIndex) ([]byte, error) {
+			t, ok := h.(*TC)
+			if !ok {
+				return nil, fmt.Errorf("reach: tc codec got %T", h)
+			}
+			return t.MarshalBinary()
+		},
+		Unmarshal: unmarshalTC,
+	})
+}
+
+// --- ThreeHop ---
+//
+// Payload (all integers unsigned varints):
+//
+//	numSCC
+//	numChains, then per chain: length, scc ids
+//	per scc: |Lout|, entries as (cid, sid) pairs
+//	per scc: |Lin|,  entries as (cid, sid) pairs
+//
+// chainOf/sidOf are derived from the chains, the skip pointers are
+// rebuilt (O(numSCC)), and the condensation is recomputed from the
+// graph.
+
+// MarshalBinary serializes the chain cover and Lin/Lout lists.
+func (h *ThreeHop) MarshalBinary() ([]byte, error) {
+	n := h.cond.NumSCC()
+	buf := make([]byte, 0, 16+8*n+4*h.IndexSize())
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(len(h.chains)))
+	for _, chain := range h.chains {
+		buf = binary.AppendUvarint(buf, uint64(len(chain)))
+		for _, s := range chain {
+			buf = binary.AppendUvarint(buf, uint64(s))
+		}
+	}
+	appendLists := func(lists [][]entry) {
+		for _, l := range lists {
+			buf = binary.AppendUvarint(buf, uint64(len(l)))
+			for _, e := range l {
+				buf = binary.AppendUvarint(buf, uint64(e.cid))
+				buf = binary.AppendUvarint(buf, uint64(e.sid))
+			}
+		}
+	}
+	appendLists(h.lout)
+	appendLists(h.lin)
+	return buf, nil
+}
+
+// unmarshalThreeHop revives a 3-hop index over g. The chain cover and
+// entry lists come from the payload; only the condensation (cheap and
+// deterministic) and the skip pointers are recomputed.
+func unmarshalThreeHop(g *graph.Graph, data []byte) (ContourIndex, error) {
+	g.Freeze()
+	cond := graph.Condense(g)
+	d := varintReader{buf: data}
+	n := int(d.next())
+	if n != cond.NumSCC() {
+		return nil, fmt.Errorf("reach: snapshot has %d SCCs, graph condenses to %d", n, cond.NumSCC())
+	}
+	h := &ThreeHop{g: g, cond: cond}
+	numChains := int(d.next())
+	if numChains < 0 || numChains > n {
+		return nil, fmt.Errorf("reach: snapshot has %d chains for %d SCCs", numChains, n)
+	}
+	h.chains = make([][]int32, numChains)
+	h.chainOf = make([]int32, n)
+	h.sidOf = make([]int32, n)
+	covered := 0
+	for c := range h.chains {
+		ln, err := d.length(n)
+		if err != nil {
+			return nil, err
+		}
+		chain := make([]int32, ln)
+		for i := range chain {
+			s := d.next()
+			if s >= uint64(n) {
+				return nil, fmt.Errorf("reach: snapshot chain references SCC %d of %d", s, n)
+			}
+			chain[i] = int32(s)
+			h.chainOf[s] = int32(c)
+			h.sidOf[s] = int32(i)
+		}
+		h.chains[c] = chain
+		covered += ln
+	}
+	if covered != n {
+		return nil, fmt.Errorf("reach: snapshot chains cover %d of %d SCCs", covered, n)
+	}
+	readLists := func() ([][]entry, error) {
+		lists := make([][]entry, n)
+		for s := range lists {
+			// Every entry takes at least two varint bytes, bounding any
+			// declared length by the remaining payload.
+			ln, err := d.length((len(d.buf) - d.off) / 2)
+			if err != nil {
+				return nil, err
+			}
+			if ln == 0 {
+				continue
+			}
+			l := make([]entry, ln)
+			for i := range l {
+				cid, sid := d.next(), d.next()
+				if cid >= uint64(numChains) {
+					return nil, fmt.Errorf("reach: snapshot list entry references chain %d of %d", cid, numChains)
+				}
+				if sid >= uint64(len(h.chains[cid])) {
+					return nil, fmt.Errorf("reach: snapshot list entry references position %d on chain %d of length %d",
+						sid, cid, len(h.chains[cid]))
+				}
+				l[i] = entry{cid: int32(cid), sid: int32(sid)}
+			}
+			lists[s] = l
+		}
+		return lists, nil
+	}
+	var err error
+	if h.lout, err = readLists(); err != nil {
+		return nil, err
+	}
+	if h.lin, err = readLists(); err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("reach: truncated threehop snapshot")
+	}
+	h.buildSkips()
+	return h, nil
+}
+
+// --- TC ---
+//
+// Payload: uvarint numSCC, then numSCC*words closure words (little
+// endian), words = ceil(numSCC/64).
+
+// MarshalBinary serializes the closure bit matrix.
+func (t *TC) MarshalBinary() ([]byte, error) {
+	n := t.cond.NumSCC()
+	buf := make([]byte, 0, 10+8*len(t.rows))
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, w := range t.rows {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf, nil
+}
+
+// unmarshalTC revives a transitive-closure index over g.
+func unmarshalTC(g *graph.Graph, data []byte) (ContourIndex, error) {
+	g.Freeze()
+	cond := graph.Condense(g)
+	d := varintReader{buf: data}
+	n := int(d.next())
+	if d.err != nil || n != cond.NumSCC() {
+		return nil, fmt.Errorf("reach: snapshot has %d SCCs, graph condenses to %d", n, cond.NumSCC())
+	}
+	words := (n + 63) / 64
+	rest := d.buf[d.off:]
+	if len(rest) != n*words*8 {
+		return nil, fmt.Errorf("reach: tc snapshot has %d row bytes, want %d", len(rest), n*words*8)
+	}
+	t := &TC{cond: cond, words: words, rows: make([]uint64, n*words)}
+	for i := range t.rows {
+		t.rows[i] = binary.LittleEndian.Uint64(rest[i*8:])
+	}
+	return t, nil
+}
+
+// varintReader decodes a sequence of unsigned varints, remembering the
+// first error so call sites can batch their checks.
+type varintReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *varintReader) next() uint64 {
+	if d.err != nil {
+		return math.MaxUint64
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("reach: truncated varint at offset %d", d.off)
+		return math.MaxUint64
+	}
+	d.off += n
+	return v
+}
+
+// length decodes a count that must fit in [0, max]; unlike next it
+// fails eagerly so the value is safe to allocate from.
+func (d *varintReader) length(max int) (int, error) {
+	v := d.next()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("reach: snapshot declares length %d, at most %d possible", v, max)
+	}
+	return int(v), nil
+}

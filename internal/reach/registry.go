@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gtpq/internal/graph"
 )
@@ -26,7 +27,16 @@ type Builder func(g *graph.Graph, opt BuildOptions) (ContourIndex, error)
 var (
 	registryMu sync.RWMutex
 	registry   = map[string]Builder{}
+	codecs     = map[string]Codec{}
+
+	buildCount atomic.Int64
 )
+
+// BuildCount returns the number of index constructions performed by
+// this process (every NewThreeHopWith / NewTCWith run counts one).
+// Snapshot loading bypasses construction entirely, which tests assert
+// by reading this counter around a load.
+func BuildCount() int64 { return buildCount.Load() }
 
 // Register adds a backend under kind; it panics on duplicates (backend
 // registration is an init-time affair).

@@ -44,6 +44,7 @@ func NewTC(g *graph.Graph) *TC {
 // rows of each SCC level are computed concurrently (a row needs only
 // the rows of strictly deeper levels).
 func NewTCWith(g *graph.Graph, opt BuildOptions) (*TC, error) {
+	buildCount.Add(1)
 	g.Freeze()
 	cond := graph.Condense(g)
 	n := cond.NumSCC()

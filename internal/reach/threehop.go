@@ -65,6 +65,7 @@ func NewThreeHop(g *graph.Graph) *ThreeHop {
 // query answers) as a serial one; only within-list entry order, which
 // comes from map iteration either way, may differ.
 func NewThreeHopWith(g *graph.Graph, opt BuildOptions) *ThreeHop {
+	buildCount.Add(1)
 	g.Freeze()
 	cond := graph.Condense(g)
 	n := cond.NumSCC()

@@ -1,0 +1,334 @@
+// Package server exposes the GTPQ engine over HTTP/JSON for
+// long-running serving:
+//
+//	POST /query     evaluate one query or a batch on a named dataset
+//	GET  /datasets  list datasets and their load state
+//	GET  /stats     server counters and configuration
+//	GET  /healthz   liveness probe
+//
+// Evaluations run through an admission-controlled worker pool: at most
+// Workers queries evaluate concurrently, at most QueueDepth more wait
+// for a slot, and anything beyond that is rejected with 429 so heavy
+// traffic degrades by shedding load instead of collapsing. Every
+// request carries a deadline (client-chosen via timeout_ms, clamped to
+// MaxTimeout) that cancels the evaluation itself through the engine's
+// context-aware path — a stuck or oversized query stops consuming its
+// worker slot the moment its deadline passes.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/qlang"
+)
+
+// Config tunes the server; zero values take sensible defaults.
+type Config struct {
+	// Workers caps concurrent evaluations (default GOMAXPROCS).
+	Workers int
+	// QueueDepth caps evaluations waiting for a worker slot before
+	// admission control rejects with 429 (default 4 × Workers).
+	QueueDepth int
+	// DefaultTimeout applies when a request names none (default 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (default 30s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// MaxRows caps result rows returned per query; responses note
+	// truncation. 0 means unlimited.
+	MaxRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Server handles the HTTP API over one dataset catalog.
+type Server struct {
+	cat   *catalog.Catalog
+	cfg   Config
+	sem   chan struct{} // worker slots
+	start time.Time
+
+	queued   atomic.Int64 // waiting + running admissions
+	requests atomic.Int64
+	queries  atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	failures atomic.Int64
+	rows     atomic.Int64
+}
+
+// New builds a server over cat.
+func New(cat *catalog.Catalog, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cat:   cat,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// errOverloaded is the admission-control rejection.
+var errOverloaded = errors.New("server overloaded: worker pool and queue full")
+
+// admit claims a worker slot, waiting at most until ctx's deadline and
+// only if the wait queue has room.
+func (s *Server) admit(ctx context.Context) error {
+	if int(s.queued.Add(1)) > s.cfg.Workers+s.cfg.QueueDepth {
+		s.queued.Add(-1)
+		s.rejected.Add(1)
+		return errOverloaded
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return ctx.Err()
+	}
+}
+
+// done releases the slot claimed by a successful admit.
+func (s *Server) done() {
+	<-s.sem
+	s.queued.Add(-1)
+}
+
+// queryRequest is the POST /query body. Exactly one of Query/Queries
+// must be set; Queries evaluates as a concurrent batch.
+type queryRequest struct {
+	Dataset   string   `json:"dataset"`
+	Query     string   `json:"query,omitempty"`
+	Queries   []string `json:"queries,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// queryResult is one evaluation outcome.
+type queryResult struct {
+	Columns   []string         `json:"columns,omitempty"`
+	Rows      [][]graph.NodeID `json:"rows"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Stats     *resultStats     `json:"stats,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+type resultStats struct {
+	Input        int64   `json:"input"`
+	IndexLookups int64   `json:"index_lookups"`
+	Intermediate int64   `json:"intermediate"`
+	Results      int64   `json:"results"`
+	EvalMillis   float64 `json:"eval_ms"`
+}
+
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req queryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err))
+		return
+	}
+	if req.Dataset == "" {
+		httpError(w, http.StatusBadRequest, "missing \"dataset\"")
+		return
+	}
+	single := req.Query != ""
+	if single == (len(req.Queries) > 0) {
+		httpError(w, http.StatusBadRequest, "set exactly one of \"query\" and \"queries\"")
+		return
+	}
+
+	// Acquire before starting the clock: a cold dataset's load or
+	// index build must not be charged against the query deadline.
+	ds, err := s.cat.Acquire(req.Dataset)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer ds.Release()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	sources := req.Queries
+	if single {
+		sources = []string{req.Query}
+	}
+	results := make([]queryResult, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src string) {
+			defer wg.Done()
+			results[i] = s.evalOne(ctx, ds.Engine, src)
+		}(i, src)
+	}
+	wg.Wait()
+
+	if single {
+		status := http.StatusOK
+		if results[0].Error != "" {
+			status = errorStatus(results[0].Error)
+		}
+		writeJSON(w, status, struct {
+			Dataset string `json:"dataset"`
+			queryResult
+		}{req.Dataset, results[0]})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Dataset string        `json:"dataset"`
+		Results []queryResult `json:"results"`
+	}{req.Dataset, results})
+}
+
+// evalOne parses and evaluates one query through the worker pool,
+// mapping every failure to the result's Error field.
+func (s *Server) evalOne(ctx context.Context, eng *gtea.Engine, src string) queryResult {
+	s.queries.Add(1)
+	q, err := qlang.Parse(src)
+	if err != nil {
+		s.failures.Add(1)
+		return queryResult{Error: err.Error()}
+	}
+	if err := s.admit(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Add(1)
+		}
+		return queryResult{Error: err.Error()}
+	}
+	defer s.done()
+
+	start := time.Now()
+	ans, st, err := eng.EvalStatsCtx(ctx, q)
+	if err != nil {
+		s.timeouts.Add(1)
+		return queryResult{Error: err.Error()}
+	}
+	res := queryResult{
+		Rows: ans.Tuples,
+		Stats: &resultStats{
+			Input:        st.Input,
+			IndexLookups: st.Index,
+			Intermediate: st.Intermediate,
+			Results:      st.Results,
+			EvalMillis:   float64(time.Since(start).Microseconds()) / 1000,
+		},
+	}
+	for _, u := range ans.Out {
+		res.Columns = append(res.Columns, q.Nodes[u].Name)
+	}
+	if s.cfg.MaxRows > 0 && len(res.Rows) > s.cfg.MaxRows {
+		res.Rows = res.Rows[:s.cfg.MaxRows]
+		res.Truncated = true
+	}
+	if res.Rows == nil {
+		res.Rows = [][]graph.NodeID{} // encode as [] rather than null
+	}
+	s.rows.Add(int64(len(res.Rows)))
+	return res
+}
+
+// errorStatus maps a single-query error string to an HTTP status.
+func errorStatus(msg string) int {
+	switch {
+	case msg == errOverloaded.Error():
+		return http.StatusTooManyRequests
+	case msg == context.DeadlineExceeded.Error(), msg == context.Canceled.Error():
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest // parse/validation errors
+	}
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	infos, err := s.cat.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": infos})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	infos, _ := s.cat.List()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"config": map[string]interface{}{
+			"workers":            s.cfg.Workers,
+			"queue_depth":        s.cfg.QueueDepth,
+			"default_timeout_ms": s.cfg.DefaultTimeout.Milliseconds(),
+			"max_timeout_ms":     s.cfg.MaxTimeout.Milliseconds(),
+		},
+		"requests":      s.requests.Load(),
+		"queries":       s.queries.Load(),
+		"rejected":      s.rejected.Load(),
+		"timeouts":      s.timeouts.Load(),
+		"failures":      s.failures.Load(),
+		"rows_returned": s.rows.Load(),
+		"in_flight":     s.queued.Load(),
+		"datasets":      infos,
+	})
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
