@@ -10,8 +10,10 @@
 //	gtpq-serve -data ./datasets -index tc -parallel
 //
 // Datasets are `<name>.json` / `<name>.json.gz` graph files (the
-// graphio format) or `<name>.snap` index snapshots; snapshots load
-// without rebuilding the reachability index. With -snapshots, the
+// graphio format), `<name>.snap` index snapshots (loaded without
+// rebuilding the reachability index), or `<name>/` sharded dataset
+// directories written by gtpq-shard (hash-verified at load and served
+// with scatter-gather; see internal/shard). With -snapshots, the
 // server writes a snapshot the first time it builds an index from raw
 // JSON, so subsequent cold starts are fast.
 //
@@ -95,8 +97,11 @@ func main() {
 			if ds.FromSnapshot {
 				how = "snapshot"
 			}
+			if ds.Sharded {
+				how = "sharded"
+			}
 			log.Printf("preloaded %s: %d nodes, %d edges, %s index (%s, %s)",
-				name, ds.Graph.N(), ds.Graph.M(), ds.Engine.H.Kind(), how,
+				name, ds.Nodes(), ds.Edges(), ds.Engine.IndexKind(), how,
 				ds.LoadTime.Round(time.Millisecond))
 			ds.Release() // stays cached
 		}

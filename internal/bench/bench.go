@@ -17,6 +17,7 @@ import (
 	"gtpq/internal/gtea"
 	"gtpq/internal/hgjoin"
 	"gtpq/internal/queries"
+	"gtpq/internal/shard"
 	"gtpq/internal/twig2stack"
 	"gtpq/internal/twigstack"
 	"gtpq/internal/twigstackd"
@@ -74,6 +75,9 @@ type Runner struct {
 	hgjoinArxiv *hgjoin.Engine
 	tsdArxiv    *twigstackd.Engine
 	workload    *arxivWorkload
+
+	shardGraph   *graph.Graph
+	shardEngines map[int]*shard.ShardedEngine
 }
 
 // NewRunner builds a runner writing reports to w.

@@ -216,4 +216,6 @@ func (r *Runner) All() {
 	r.IndexBackends()
 	r.printf("\n")
 	r.Concurrency()
+	r.printf("\n")
+	r.Sharding()
 }

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gen"
+	"gtpq/internal/graph"
+	"gtpq/internal/qlang"
+	"gtpq/internal/shard"
+)
+
+// shardKs is the shard-count ladder of the scatter-gather experiment;
+// K=1 is the single-engine baseline (one shard holding everything).
+var shardKs = []int{1, 2, 4, 8}
+
+// shardLabels is the label alphabet of the sharding workload.
+var shardLabels = []string{"a", "b", "c"}
+
+// shardWorkload is evaluated at every K; the queries span cheap
+// single-output scans and a two-output join-ish pattern with logic.
+var shardWorkload = []struct {
+	name string
+	src  string
+}{
+	{"scan", "node x label=a output"},
+	{"pair", "node x label=a output\nnode y label=b parent=x edge=ad output"},
+	{"neg", "node x label=c output\npnode y label=a parent=x edge=ad\npred x: !y"},
+}
+
+// ShardGraph returns (cached) the sharding benchmark graph: a forest
+// of independent random DAG blocks, so WCC partitioning has real
+// components to spread and per-shard work is genuinely parallel.
+func (r *Runner) ShardGraph() *graph.Graph {
+	if r.shardGraph == nil {
+		blocks := 8 * r.Cfg.QueriesPerPoint // scales with the config like the other workloads
+		if blocks < 16 {
+			blocks = 16
+		}
+		r.shardGraph = gen.Forest(rand.New(rand.NewSource(r.Cfg.Seed)), blocks, 160, 360, shardLabels)
+	}
+	return r.shardGraph
+}
+
+// shardQueries parses the workload once.
+func shardQueries() []*core.Query {
+	qs := make([]*core.Query, len(shardWorkload))
+	for i, wl := range shardWorkload {
+		q, err := qlang.Parse(wl.src)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// shardEngine returns (cached) the K-way sharded engine over the
+// sharding benchmark graph.
+func (r *Runner) shardEngine(k int) *shard.ShardedEngine {
+	if r.shardEngines == nil {
+		r.shardEngines = map[int]*shard.ShardedEngine{}
+	}
+	if se, ok := r.shardEngines[k]; ok {
+		return se
+	}
+	g := r.ShardGraph()
+	plan, err := shard.Partition(g, k, shard.ModeAuto)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	se, err := shard.NewEngine(g, plan, shard.Options{})
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	r.shardEngines[k] = se
+	return se
+}
+
+// shardRounds is how many times each query is averaged per K.
+const shardRounds = 2
+
+// Sharding compares scatter-gather latency across the shard-count
+// ladder on one forest graph: per-query average evaluation time per K,
+// with K=1 as the single-shard baseline. Result counts are
+// cross-checked across K — the equivalence property the shard test
+// suite proves under -race — so the numbers compare identical answer
+// sets.
+func (r *Runner) Sharding() {
+	g := r.ShardGraph()
+	qs := shardQueries()
+	r.printf("== Sharding: scatter-gather latency over the shard ladder, %d nodes / %d edges ==\n", g.N(), g.M())
+	r.printf("%-8s %10s", "query", "results")
+	for _, k := range shardKs {
+		r.printf(" %12s", fmt.Sprintf("K=%d", k))
+	}
+	r.printf("\n")
+	for qi, q := range qs {
+		var baseline int
+		r.printf("%-8s", shardWorkload[qi].name)
+		line := make([]string, 0, len(shardKs))
+		for ki, k := range shardKs {
+			se := r.shardEngine(k)
+			se.Eval(q) // warm up
+			var total time.Duration
+			results := 0
+			for round := 0; round < shardRounds; round++ {
+				total += timeIt(func() { results = se.Eval(q).Len() })
+			}
+			if ki == 0 {
+				baseline = results
+				r.printf(" %10d", results)
+			} else if results != baseline {
+				panic(fmt.Sprintf("bench: sharding answer diverged at K=%d: %d vs %d", k, results, baseline))
+			}
+			line = append(line, fmtDur(total/shardRounds))
+		}
+		for _, cell := range line {
+			r.printf(" %12s", cell)
+		}
+		r.printf("\n")
+	}
+}
+
+// shardRecords emits the machine-readable shard experiment: one record
+// per (query, K) with averaged latency, shard count, result count, and
+// the plan's replication overhead. CI archives these with the rest of
+// the -json output.
+func (r *Runner) shardRecords() []Record {
+	g := r.ShardGraph()
+	qs := shardQueries()
+	var recs []Record
+	for _, k := range shardKs {
+		se := r.shardEngine(k)
+		for qi, q := range qs {
+			se.Eval(q) // warm up
+			var total time.Duration
+			results := 0
+			for round := 0; round < shardRounds; round++ {
+				total += timeIt(func() { results = se.Eval(q).Len() })
+			}
+			recs = append(recs, Record{
+				Experiment: "shard",
+				Kind:       se.IndexKind(),
+				Query:      shardWorkload[qi].name,
+				Nodes:      g.N(),
+				Edges:      g.M(),
+				Shards:     k,
+				ShardMode:  string(se.Mode()),
+				Replicated: se.Replicated(),
+				NsPerOp:    (total / shardRounds).Nanoseconds(),
+				Results:    int64(results),
+			})
+		}
+	}
+	return recs
+}

@@ -36,6 +36,13 @@ type Record struct {
 
 	Workers     int     `json:"workers,omitempty"`
 	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+
+	// Sharding experiment fields: the shard count of the scatter-gather
+	// engine, the resolved partitioning mode, and how many vertex
+	// copies the plan replicated beyond the first.
+	Shards     int    `json:"shards,omitempty"`
+	ShardMode  string `json:"shard_mode,omitempty"`
+	Replicated int    `json:"replicated,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -117,6 +124,9 @@ func (r *Runner) JSONRecords() []Record {
 			EvalsPerSec: float64(total) / elapsed.Seconds(),
 		})
 	}
+
+	// Scatter-gather over the shard-count ladder.
+	recs = append(recs, r.shardRecords()...)
 	return recs
 }
 

@@ -11,9 +11,17 @@
 // with zero index-construction work; with AutoSnapshot set, the
 // catalog writes one the first time it has to build an index from raw
 // JSON.
+//
+// A subdirectory `<name>/` holding a shard manifest (`manifest.json`,
+// see internal/shard) is a sharded dataset: the catalog verifies the
+// manifest's content hashes, revives every shard from its snapshot,
+// and serves a scatter-gather engine under the same name — queries hit
+// it exactly like a flat dataset. A sharded directory takes precedence
+// over flat files of the same name.
 package catalog
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,9 +30,11 @@ import (
 	"sync"
 	"time"
 
+	"gtpq/internal/core"
 	"gtpq/internal/graph"
 	"gtpq/internal/graphio"
 	"gtpq/internal/gtea"
+	"gtpq/internal/shard"
 	"gtpq/internal/snapshot"
 )
 
@@ -39,17 +49,36 @@ type Options struct {
 	// AutoSnapshot writes `<name>.snap` after an index is built from a
 	// raw graph file, so the next cold start skips construction.
 	AutoSnapshot bool
+	// ShardWorkers bounds the scatter-gather fan-out of sharded
+	// datasets (default GOMAXPROCS).
+	ShardWorkers int
 }
 
-// Dataset is one acquired dataset: a graph plus a ready engine. It
-// stays valid until Release, even across a hot reload.
+// Engine is the evaluation surface a dataset exposes: the single-graph
+// gtea.Engine or the scatter-gather shard.ShardedEngine. Both are
+// immutable and safe for concurrent use.
+type Engine interface {
+	Eval(q *core.Query) *core.Answer
+	EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, gtea.Stats, error)
+	IndexKind() string
+	IndexSize() int
+}
+
+// Dataset is one acquired dataset: a ready engine (plus the graph, for
+// flat datasets). It stays valid until Release, even across a hot
+// reload.
 type Dataset struct {
 	Name   string
 	Source string // file the engine came from
+	// Graph is the data graph of a flat dataset; nil when Sharded (the
+	// logical graph exists only as the union of the shard subgraphs).
 	Graph  *graph.Graph
-	Engine *gtea.Engine
+	Engine Engine
+	// Sharded reports whether Engine fans out across shard engines.
+	Sharded bool
 	// FromSnapshot reports whether the engine was revived from a
-	// snapshot (no index construction) rather than built.
+	// snapshot (no index construction) rather than built. Sharded
+	// datasets always revive from their per-shard snapshots.
 	FromSnapshot bool
 	// LoadTime is how long the build or revive took.
 	LoadTime time.Duration
@@ -58,10 +87,41 @@ type Dataset struct {
 	releaseOnce sync.Once
 }
 
+// Nodes returns the logical node count (flat graph or sharded total).
+func (d *Dataset) Nodes() int {
+	if d.Graph != nil {
+		return d.Graph.N()
+	}
+	if se, ok := d.Engine.(*shard.ShardedEngine); ok {
+		return se.TotalNodes()
+	}
+	return 0
+}
+
+// Edges returns the logical edge count (flat graph or sharded total).
+func (d *Dataset) Edges() int {
+	if d.Graph != nil {
+		return d.Graph.M()
+	}
+	if se, ok := d.Engine.(*shard.ShardedEngine); ok {
+		return se.TotalEdges()
+	}
+	return 0
+}
+
 // Release returns the dataset to the catalog; callers must not use it
 // afterwards. Release is idempotent.
 func (d *Dataset) Release() {
 	d.releaseOnce.Do(func() { d.entry.release() })
+}
+
+// ShardInfo is one shard's size and cumulative serving counters in a
+// listing.
+type ShardInfo struct {
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	Evals      int64   `json:"evals"`
+	EvalMillis float64 `json:"eval_ms"`
 }
 
 // Info describes one dataset for listings (GET /datasets).
@@ -76,6 +136,12 @@ type Info struct {
 	IndexSize    int    `json:"index_size,omitempty"`
 	FromSnapshot bool   `json:"from_snapshot,omitempty"`
 	LoadMillis   int64  `json:"load_ms,omitempty"`
+	// Shards is the shard count of a sharded dataset (0 for flat);
+	// ShardMode its partitioning mode and ShardInfo the per-shard
+	// sizes and timings once loaded.
+	Shards    int         `json:"shards,omitempty"`
+	ShardMode string      `json:"shard_mode,omitempty"`
+	ShardInfo []ShardInfo `json:"shard_info,omitempty"`
 }
 
 // Catalog serves datasets out of one directory.
@@ -130,7 +196,17 @@ func (c *Catalog) Dir() string { return c.dir }
 // preference order (snapshot first).
 var suffixes = []string{".snap", ".json.gz", ".json"}
 
-// Names lists the dataset names present on disk, sorted.
+// loadKind says how a resolved dataset source is loaded.
+type loadKind int
+
+const (
+	loadRaw   loadKind = iota // graphio JSON, index built
+	loadSnap                  // single snapshot, index revived
+	loadShard                 // sharded directory, scatter-gather engine
+)
+
+// Names lists the dataset names present on disk, sorted: flat graph /
+// snapshot files plus subdirectories holding a shard manifest.
 func (c *Catalog) Names() ([]string, error) {
 	des, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -138,17 +214,22 @@ func (c *Catalog) Names() ([]string, error) {
 	}
 	seen := map[string]bool{}
 	var names []string
+	add := func(name string) {
+		if name != "" && !strings.HasPrefix(name, ".") && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
 	for _, de := range des {
 		if de.IsDir() {
+			if _, err := os.Stat(filepath.Join(c.dir, de.Name(), shard.ManifestName)); err == nil {
+				add(de.Name())
+			}
 			continue
 		}
 		for _, suf := range suffixes {
 			if strings.HasSuffix(de.Name(), suf) {
-				name := strings.TrimSuffix(de.Name(), suf)
-				if name != "" && !seen[name] {
-					seen[name] = true
-					names = append(names, name)
-				}
+				add(strings.TrimSuffix(de.Name(), suf))
 				break
 			}
 		}
@@ -157,12 +238,19 @@ func (c *Catalog) Names() ([]string, error) {
 	return names, nil
 }
 
-// resolve picks the file to load name from: the snapshot when it is at
+// resolve picks the source to load name from: a sharded directory's
+// manifest when one exists (sharding wins — the directory supersedes
+// any flat file left behind), otherwise the snapshot when it is at
 // least as new as the raw graph (or the only candidate), the raw graph
 // otherwise.
-func (c *Catalog) resolve(name string) (path string, mod time.Time, isSnap bool, err error) {
+func (c *Catalog) resolve(name string) (path string, mod time.Time, kind loadKind, err error) {
 	if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
-		return "", time.Time{}, false, fmt.Errorf("catalog: invalid dataset name %q", name)
+		return "", time.Time{}, loadRaw, fmt.Errorf("catalog: invalid dataset name %q", name)
+	}
+	if mpath := filepath.Join(c.dir, name, shard.ManifestName); true {
+		if st, err := os.Stat(mpath); err == nil {
+			return mpath, st.ModTime(), loadShard, nil
+		}
 	}
 	var snapPath, rawPath string
 	var snapMod, rawMod time.Time
@@ -180,11 +268,11 @@ func (c *Catalog) resolve(name string) (path string, mod time.Time, isSnap bool,
 	}
 	switch {
 	case snapPath != "" && (rawPath == "" || !snapMod.Before(rawMod)):
-		return snapPath, snapMod, true, nil
+		return snapPath, snapMod, loadSnap, nil
 	case rawPath != "":
-		return rawPath, rawMod, false, nil
+		return rawPath, rawMod, loadRaw, nil
 	default:
-		return "", time.Time{}, false, fmt.Errorf("catalog: unknown dataset %q", name)
+		return "", time.Time{}, loadRaw, fmt.Errorf("catalog: unknown dataset %q", name)
 	}
 }
 
@@ -193,7 +281,7 @@ func (c *Catalog) resolve(name string) (path string, mod time.Time, isSnap bool,
 // share one load; a source file newer than the cached engine triggers
 // a hot reload for new acquirers.
 func (c *Catalog) Acquire(name string) (*Dataset, error) {
-	path, mod, isSnap, rerr := c.resolve(name)
+	path, mod, kind, rerr := c.resolve(name)
 
 	c.mu.Lock()
 	e := c.entries[name]
@@ -216,7 +304,7 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 		}
 		e = &entry{c: c, name: name, ready: make(chan struct{}), refs: 1, srcPath: path, srcMod: mod}
 		c.entries[name] = e
-		go e.load(c.opt, isSnap)
+		go e.load(c.opt, kind)
 	}
 	e.refs++
 	c.mu.Unlock()
@@ -238,6 +326,7 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 		Source:       e.ds.Source,
 		Graph:        e.ds.Graph,
 		Engine:       e.ds.Engine,
+		Sharded:      e.ds.Sharded,
 		FromSnapshot: e.ds.FromSnapshot,
 		LoadTime:     e.ds.LoadTime,
 		entry:        e,
@@ -245,10 +334,26 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 }
 
 // load builds or revives the entry's engine; it runs once per entry.
-func (e *entry) load(opt Options, isSnap bool) {
+func (e *entry) load(opt Options, kind loadKind) {
 	defer close(e.ready)
 	start := time.Now()
-	if isSnap {
+	switch kind {
+	case loadShard:
+		se, man, err := shard.LoadDir(filepath.Dir(e.srcPath), shard.LoadOptions{Workers: opt.ShardWorkers})
+		if err != nil {
+			e.err = err
+			return
+		}
+		if man.Name != e.name {
+			e.err = fmt.Errorf("catalog: %s names dataset %q, directory says %q", e.srcPath, man.Name, e.name)
+			return
+		}
+		e.ds = &Dataset{
+			Name: e.name, Source: e.srcPath, Engine: se,
+			Sharded: true, FromSnapshot: true, LoadTime: time.Since(start),
+		}
+		return
+	case loadSnap:
 		g, h, err := snapshot.LoadFile(e.srcPath)
 		if err != nil {
 			e.err = err
@@ -325,8 +430,13 @@ func (c *Catalog) List() ([]Info, error) {
 	defer c.mu.Unlock()
 	for _, name := range names {
 		info := Info{Name: name}
-		if path, _, _, err := c.resolve(name); err == nil {
+		var manifestPath string
+		if path, _, kind, err := c.resolve(name); err == nil {
 			info.Source = filepath.Base(path)
+			if kind == loadShard {
+				info.Source = filepath.Join(name, shard.ManifestName)
+				manifestPath = path
+			}
 		}
 		if e := c.entries[name]; e != nil && !e.stale {
 			select {
@@ -334,14 +444,33 @@ func (c *Catalog) List() ([]Info, error) {
 				if e.err == nil {
 					info.Loaded = true
 					info.Refs = e.refs - 1 // exclude the cache's own reference
-					info.Nodes = e.ds.Graph.N()
-					info.Edges = e.ds.Graph.M()
-					info.IndexKind = e.ds.Engine.H.Kind()
-					info.IndexSize = e.ds.Engine.H.IndexSize()
+					info.Nodes = e.ds.Nodes()
+					info.Edges = e.ds.Edges()
+					info.IndexKind = e.ds.Engine.IndexKind()
+					info.IndexSize = e.ds.Engine.IndexSize()
 					info.FromSnapshot = e.ds.FromSnapshot
 					info.LoadMillis = e.ds.LoadTime.Milliseconds()
+					if se, ok := e.ds.Engine.(*shard.ShardedEngine); ok {
+						info.Shards = se.NumShards()
+						info.ShardMode = string(se.Mode())
+						for _, st := range se.ShardStats() {
+							info.ShardInfo = append(info.ShardInfo, ShardInfo{
+								Nodes: st.Nodes, Edges: st.Edges, Evals: st.Evals,
+								EvalMillis: float64(st.EvalTime.Microseconds()) / 1000,
+							})
+						}
+					}
 				}
 			default:
+			}
+		}
+		if manifestPath != "" && info.Shards == 0 {
+			// Not loaded yet: the shard count comes from the manifest
+			// (listings must not trigger loads). Loaded entries filled
+			// it from the engine above, skipping this disk read.
+			if man, err := shard.ReadManifest(manifestPath); err == nil {
+				info.Shards = len(man.Shards)
+				info.ShardMode = string(man.Mode)
 			}
 		}
 		infos = append(infos, info)

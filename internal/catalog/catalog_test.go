@@ -155,7 +155,7 @@ func TestSnapshotPreferredAndZeroRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kind := ds.Engine.H.Kind()
+	kind := ds.Engine.IndexKind()
 	firstEngine := ds.Engine
 	ds.Release()
 	if _, err := os.Stat(filepath.Join(dir, "d.snap")); err != nil {
@@ -187,8 +187,8 @@ func TestSnapshotPreferredAndZeroRebuild(t *testing.T) {
 	if built := reach.BuildCount() - before; built != 0 {
 		t.Fatalf("snapshot acquire performed %d index builds, want 0", built)
 	}
-	if !ds2.FromSnapshot || ds2.Engine.H.Kind() != kind {
-		t.Fatalf("FromSnapshot=%v kind=%q want true/%q", ds2.FromSnapshot, ds2.Engine.H.Kind(), kind)
+	if !ds2.FromSnapshot || ds2.Engine.IndexKind() != kind {
+		t.Fatalf("FromSnapshot=%v kind=%q want true/%q", ds2.FromSnapshot, ds2.Engine.IndexKind(), kind)
 	}
 }
 

@@ -96,6 +96,14 @@ func NewWithIndex(g *graph.Graph, h reach.ContourIndex) *Engine {
 	return &Engine{G: g, H: h}
 }
 
+// IndexKind reports the reachability backend this engine evaluates
+// over (part of the catalog.Engine interface shared with sharded
+// execution).
+func (e *Engine) IndexKind() string { return e.H.Kind() }
+
+// IndexSize reports the size of the engine's reachability index.
+func (e *Engine) IndexSize() int { return e.H.IndexSize() }
+
 // evalContext is the mutable state of one evaluation. Engines are
 // shared; contexts are not — one is created per Eval call, which is
 // what makes the engine reentrant.

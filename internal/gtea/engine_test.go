@@ -5,110 +5,21 @@ import (
 	"testing"
 
 	"gtpq/internal/core"
+	"gtpq/internal/gen"
 	"gtpq/internal/graph"
 	"gtpq/internal/logic"
 	"gtpq/internal/reach"
 )
 
-// randGraph builds a random labeled digraph; acyclic when dag is true.
+// randGraph and randQuery delegate to the shared generator package so
+// the shard equivalence suite and these oracle tests draw from the same
+// workload distribution (identical code moved to internal/gen).
 func randGraph(r *rand.Rand, n, m int, labels []string, dag bool) *graph.Graph {
-	g := graph.New(n, m)
-	for i := 0; i < n; i++ {
-		g.AddNode(labels[r.Intn(len(labels))], nil)
-	}
-	for e := 0; e < m; e++ {
-		if dag {
-			u := r.Intn(n - 1)
-			g.AddEdge(graph.NodeID(u), graph.NodeID(u+1+r.Intn(n-u-1)))
-		} else {
-			g.AddEdge(graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n)))
-		}
-	}
-	g.Freeze()
-	return g
+	return gen.Graph(r, n, m, labels, dag)
 }
 
-// randQuery builds a random GTPQ over the label alphabet: a random tree
-// with mixed AD/PC edges, random backbone/predicate kinds, random
-// structural predicates (possibly with ∨ and ¬), and a random non-empty
-// output set.
 func randQuery(r *rand.Rand, size int, labels []string, allowPC, allowLogic bool) *core.Query {
-	q := core.NewQuery()
-	root := q.AddRoot("n0", core.Label(labels[r.Intn(len(labels))]))
-	backbones := []int{root}
-	for i := 1; i < size; i++ {
-		kind := core.Backbone
-		if r.Intn(2) == 0 {
-			kind = core.Predicate
-		}
-		edge := core.AD
-		if allowPC && r.Intn(3) == 0 {
-			edge = core.PC
-		}
-		// Predicate nodes may hang anywhere; backbone only under backbone.
-		var parent int
-		if kind == core.Backbone {
-			parent = backbones[r.Intn(len(backbones))]
-		} else {
-			parent = r.Intn(i) // any earlier node
-		}
-		id := q.AddNode("n", kind, parent, edge, core.Label(labels[r.Intn(len(labels))]))
-		if kind == core.Backbone {
-			backbones = append(backbones, id)
-		}
-	}
-	// Structural predicates over predicate children.
-	for _, n := range q.Nodes {
-		var preds []int
-		for _, c := range n.Children {
-			if q.Nodes[c].Kind == core.Predicate {
-				preds = append(preds, c)
-			}
-		}
-		if len(preds) == 0 {
-			continue
-		}
-		if !allowLogic {
-			vars := make([]*logic.Formula, len(preds))
-			for i, p := range preds {
-				vars[i] = logic.Var(p)
-			}
-			q.SetStruct(n.ID, logic.And(vars...))
-			continue
-		}
-		parts := make([]*logic.Formula, len(preds))
-		for i, p := range preds {
-			v := logic.Var(p)
-			if r.Intn(4) == 0 {
-				v = logic.Not(v)
-			}
-			parts[i] = v
-		}
-		var f *logic.Formula
-		switch r.Intn(3) {
-		case 0:
-			f = logic.And(parts...)
-		case 1:
-			f = logic.Or(parts...)
-		default:
-			if len(parts) > 1 {
-				f = logic.Or(logic.And(parts[:len(parts)/2+1]...), logic.And(parts[len(parts)/2:]...))
-			} else {
-				f = parts[0]
-			}
-		}
-		q.SetStruct(n.ID, f)
-	}
-	// Output set: random non-empty subset of backbone nodes.
-	for _, b := range backbones {
-		if r.Intn(2) == 0 {
-			q.SetOutput(b)
-		}
-	}
-	if len(q.Outputs()) == 0 {
-		q.SetOutput(backbones[r.Intn(len(backbones))])
-	}
-	return q
+	return gen.Query(r, size, labels, allowPC, allowLogic)
 }
 
 func compare(t *testing.T, g *graph.Graph, q *core.Query, trial int) {

@@ -167,13 +167,10 @@ func (ec *evalContext) buildMatchingGraph(q *core.Query, comps []component) *mat
 }
 
 // collectAll enumerates the final answer: per-component results from
-// CollectResults, combined across components by Cartesian product, with
-// the fixed singleton outputs appended.
+// CollectResults, combined across components through the exported
+// CombineComponents Cartesian-product path, with the fixed singleton
+// outputs appended.
 func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []component, singles map[int]graph.NodeID, mg *matchingGraph) {
-	outPos := make(map[int]int, len(ans.Out))
-	for i, u := range ans.Out {
-		outPos[u] = i
-	}
 	for _, v := range singles {
 		if v == -1 {
 			ans.Canonicalize()
@@ -293,28 +290,7 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 	}
 
 	// Cross-component Cartesian product into final tuples.
-	tuple := make([]graph.NodeID, len(ans.Out))
-	for u, v := range singles {
-		tuple[outPos[u]] = v
-	}
-	var emit func(ci int)
-	emit = func(ci int) {
-		if ec.tick() {
-			return
-		}
-		if ci == len(perComp) {
-			ans.Add(append([]graph.NodeID(nil), tuple...))
-			return
-		}
-		for _, t := range perComp[ci] {
-			for i, u := range compOuts[ci] {
-				tuple[outPos[u]] = t[i]
-			}
-			emit(ci + 1)
-		}
-	}
-	emit(0)
-	ans.Canonicalize()
+	CombineComponents(ans, singles, perComp, compOuts, ec.tick)
 }
 
 func tupleKey(t []graph.NodeID) string {

@@ -29,7 +29,6 @@ import (
 
 	"gtpq/internal/catalog"
 	"gtpq/internal/graph"
-	"gtpq/internal/gtea"
 	"gtpq/internal/qlang"
 )
 
@@ -234,8 +233,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // evalOne parses and evaluates one query through the worker pool,
-// mapping every failure to the result's Error field.
-func (s *Server) evalOne(ctx context.Context, eng *gtea.Engine, src string) queryResult {
+// mapping every failure to the result's Error field. eng is either a
+// single-graph engine or a sharded scatter-gather engine — the
+// evaluation path is identical.
+func (s *Server) evalOne(ctx context.Context, eng catalog.Engine, src string) queryResult {
 	s.queries.Add(1)
 	q, err := qlang.Parse(src)
 	if err != nil {
@@ -301,8 +302,52 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": infos})
 }
 
+// poolSnapshot is one consistent read of the worker-pool counters.
+// Every field is captured through its atomic exactly once, in one
+// place: /stats must never interleave direct counter reads with
+// response building, or a burst of traffic between two reads shows
+// impossible states (e.g. more timeouts than queries). The shape is a
+// struct rather than ad-hoc map entries so a missed field is a compile
+// error, not a silently absent stat.
+type poolSnapshot struct {
+	Requests int64 `json:"requests"`
+	Queries  int64 `json:"queries"`
+	Rejected int64 `json:"rejected"`
+	Timeouts int64 `json:"timeouts"`
+	Failures int64 `json:"failures"`
+	Rows     int64 `json:"rows_returned"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// snapshotCounters captures all pool counters. The counters are
+// per-field atomics, so each value was true at some instant during the
+// call; cross-field sanity additionally needs a read order. Derived
+// counters (rejected/timeouts/failures — each incremented only after
+// its source counter) are read BEFORE their sources (queries, then
+// requests): a derived value can then never exceed the source value
+// read later, so a snapshot cannot show impossible states like more
+// timeouts than queries, no matter how much traffic races the read.
+func (s *Server) snapshotCounters() poolSnapshot {
+	var snap poolSnapshot
+	snap.Rejected = s.rejected.Load()
+	snap.Timeouts = s.timeouts.Load()
+	snap.Failures = s.failures.Load()
+	snap.Rows = s.rows.Load()
+	snap.InFlight = s.queued.Load()
+	snap.Queries = s.queries.Load()
+	snap.Requests = s.requests.Load()
+	return snap
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snapshotCounters()
 	infos, _ := s.cat.List()
+	shardedDatasets := 0
+	for _, info := range infos {
+		if info.Shards > 0 {
+			shardedDatasets++
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_s": time.Since(s.start).Seconds(),
 		"config": map[string]interface{}{
@@ -311,14 +356,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"default_timeout_ms": s.cfg.DefaultTimeout.Milliseconds(),
 			"max_timeout_ms":     s.cfg.MaxTimeout.Milliseconds(),
 		},
-		"requests":      s.requests.Load(),
-		"queries":       s.queries.Load(),
-		"rejected":      s.rejected.Load(),
-		"timeouts":      s.timeouts.Load(),
-		"failures":      s.failures.Load(),
-		"rows_returned": s.rows.Load(),
-		"in_flight":     s.queued.Load(),
-		"datasets":      infos,
+		"requests":         snap.Requests,
+		"queries":          snap.Queries,
+		"rejected":         snap.Rejected,
+		"timeouts":         snap.Timeouts,
+		"failures":         snap.Failures,
+		"rows_returned":    snap.Rows,
+		"in_flight":        snap.InFlight,
+		"sharded_datasets": shardedDatasets,
+		"datasets":         infos,
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,8 +15,10 @@ import (
 	"time"
 
 	"gtpq/internal/catalog"
+	"gtpq/internal/gen"
 	"gtpq/internal/graph"
 	"gtpq/internal/graphio"
+	"gtpq/internal/shard"
 )
 
 // newTestServer spins a full stack — catalog directory, server,
@@ -273,6 +276,153 @@ func TestServeDeadlineCancelsEvaluation(t *testing.T) {
 		t.Fatalf("slow item error = %q", slowErr)
 	}
 	_ = fastErr // the cheap item may or may not finish within 30ms under -race; either is fine
+}
+
+// TestServeShardedDataset is the scatter-gather e2e: a dataset stored
+// as a sharded directory answers /query exactly like the same graph
+// stored flat, and /datasets and /stats report shard counts and
+// per-shard timings.
+func TestServeShardedDataset(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Forest(rand.New(rand.NewSource(21)), 6, 12, 20, []string{"a", "b", "c"})
+	var buf bytes.Buffer
+	if err := graphio.Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "flat.json"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.Partition(g, 3, shard.ModeWCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.WriteDir(filepath.Join(dir, "parted"), "parted", g, plan, shard.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.Open(dir, catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(cat, Config{}).Handler())
+	defer ts.Close()
+
+	for _, q := range []string{
+		"node x label=a output",
+		abQuery,
+		"node x label=c output\npnode y label=b parent=x edge=ad\npred x: !y",
+	} {
+		codeF, outF := postQuery(t, ts.URL, map[string]interface{}{"dataset": "flat", "query": q})
+		codeS, outS := postQuery(t, ts.URL, map[string]interface{}{"dataset": "parted", "query": q})
+		if codeF != http.StatusOK || codeS != http.StatusOK {
+			t.Fatalf("status flat=%d sharded=%d (%v / %v)", codeF, codeS, outF, outS)
+		}
+		fr, _ := json.Marshal(outF["rows"])
+		sr, _ := json.Marshal(outS["rows"])
+		if !bytes.Equal(fr, sr) {
+			t.Fatalf("query %q: sharded rows differ\nflat    %s\nsharded %s", q, fr, sr)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ShardedDatasets int            `json:"sharded_datasets"`
+		Datasets        []catalog.Info `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ShardedDatasets != 1 {
+		t.Fatalf("sharded_datasets = %d", st.ShardedDatasets)
+	}
+	var parted *catalog.Info
+	for i := range st.Datasets {
+		if st.Datasets[i].Name == "parted" {
+			parted = &st.Datasets[i]
+		}
+	}
+	if parted == nil || parted.Shards != 3 || parted.ShardMode != "wcc" {
+		t.Fatalf("parted info = %+v", parted)
+	}
+	if len(parted.ShardInfo) != 3 {
+		t.Fatalf("shard_info = %+v", parted.ShardInfo)
+	}
+	var evals int64
+	for _, si := range parted.ShardInfo {
+		evals += si.Evals
+	}
+	if evals == 0 {
+		t.Fatal("per-shard timings absent from /stats")
+	}
+}
+
+// TestStatsConsistentUnderLoad hammers GET /stats while batches are in
+// flight: the regression test for the counter-snapshot path — every
+// read goes through one snapshotCounters call, raced here under -race,
+// and the reported values must stay within the pool's invariants.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	ts, s := newTestServer(t, Config{Workers: 2, QueueDepth: 64})
+	queries := []string{abQuery, "node x label=a output", abQuery}
+
+	stop := make(chan struct{})
+	var producers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					postQuery(t, ts.URL, map[string]interface{}{"dataset": "small", "queries": queries})
+				}
+			}
+		}()
+	}
+
+	cfgMax := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Requests int64 `json:"requests"`
+			Queries  int64 `json:"queries"`
+			Rejected int64 `json:"rejected"`
+			Timeouts int64 `json:"timeouts"`
+			Failures int64 `json:"failures"`
+			InFlight int64 `json:"in_flight"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if out.InFlight < 0 || out.InFlight > cfgMax+1 {
+			t.Fatalf("in_flight = %d outside [0, %d]", out.InFlight, cfgMax)
+		}
+		if out.Requests < 0 || out.Queries < 0 || out.Rejected < 0 || out.Timeouts < 0 || out.Failures < 0 {
+			t.Fatalf("negative counter in %+v", out)
+		}
+		if out.Rejected+out.Timeouts+out.Failures > out.Queries+out.Requests {
+			t.Fatalf("failure counters exceed traffic: %+v", out)
+		}
+	}
+	close(stop)
+	producers.Wait()
+
+	// Quiesced: in-flight must drain to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in_flight stuck at %d after drain", s.queued.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // TestServeAdmissionControl floods a 1-worker, 1-slot-queue server

@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+)
+
+// Options tune sharded engine construction and execution.
+type Options struct {
+	// Index names the reachability backend for per-shard indexes
+	// (empty: the default 3-hop index). Ignored by LoadDir — shard
+	// snapshots carry their own backend.
+	Index string
+	// Parallel builds per-shard indexes with multiple goroutines.
+	Parallel bool
+	// Workers bounds the scatter-gather fan-out per evaluation
+	// (default GOMAXPROCS, clamped to the shard count).
+	Workers int
+}
+
+// shardUnit is one shard at runtime: a regular GTEA engine over the
+// shard subgraph plus the local→global id mapping and cumulative
+// serving counters.
+type shardUnit struct {
+	eng     *gtea.Engine
+	globals []graph.NodeID // local id -> global id, ascending
+	evals   atomic.Int64
+	evalNs  atomic.Int64
+}
+
+// ShardedEngine evaluates queries over a partitioned dataset by
+// fanning each evaluation out across per-shard engines on a bounded
+// worker pool and merging the remapped answers. Like gtea.Engine it is
+// immutable after construction and safe for concurrent use.
+type ShardedEngine struct {
+	mode       Mode
+	kind       string
+	workers    int
+	totalNodes int
+	totalEdges int
+	replicated int
+	shards     []*shardUnit
+}
+
+// NewEngine builds a sharded engine in memory from a graph and a plan:
+// one subgraph, reachability index, and GTEA engine per shard. For the
+// on-disk path see WriteDir/LoadDir.
+func NewEngine(g *graph.Graph, plan *Plan, opt Options) (*ShardedEngine, error) {
+	g.Freeze()
+	se := &ShardedEngine{
+		mode:       plan.Mode,
+		workers:    normalizeWorkers(opt.Workers, len(plan.Parts)),
+		totalNodes: g.N(),
+		totalEdges: g.M(),
+		replicated: plan.Replicated,
+	}
+	for _, part := range plan.Parts {
+		sg := Subgraph(g, part)
+		eng, err := gtea.NewWithOptions(sg, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+		if err != nil {
+			return nil, err
+		}
+		se.shards = append(se.shards, &shardUnit{eng: eng, globals: part})
+	}
+	se.kind = se.shards[0].eng.IndexKind()
+	return se, nil
+}
+
+func normalizeWorkers(w, shards int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if shards >= 1 && w > shards {
+		w = shards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// NumShards returns the shard count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// Mode returns the partitioning mode this engine was built from.
+func (se *ShardedEngine) Mode() Mode { return se.mode }
+
+// IndexKind reports the per-shard reachability backend.
+func (se *ShardedEngine) IndexKind() string { return se.kind }
+
+// IndexSize reports the summed size of all per-shard indexes.
+func (se *ShardedEngine) IndexSize() int {
+	total := 0
+	for _, u := range se.shards {
+		total += u.eng.IndexSize()
+	}
+	return total
+}
+
+// TotalNodes returns the logical (unsharded) node count.
+func (se *ShardedEngine) TotalNodes() int { return se.totalNodes }
+
+// TotalEdges returns the logical (unsharded) edge count.
+func (se *ShardedEngine) TotalEdges() int { return se.totalEdges }
+
+// Replicated counts vertex copies beyond the first across all shards
+// (0 under ModeWCC).
+func (se *ShardedEngine) Replicated() int { return se.replicated }
+
+// ShardStat is one shard's size and cumulative serving counters.
+type ShardStat struct {
+	Nodes int
+	Edges int
+	// Evals counts evaluations dispatched to this shard (including
+	// aborted ones); EvalTime is their summed wall time.
+	Evals    int64
+	EvalTime time.Duration
+}
+
+// ShardStats returns per-shard sizes and cumulative timings, in shard
+// order. Safe for concurrent use with evaluations.
+func (se *ShardedEngine) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(se.shards))
+	for i, u := range se.shards {
+		out[i] = ShardStat{
+			Nodes:    u.eng.G.N(),
+			Edges:    u.eng.G.M(),
+			Evals:    u.evals.Load(),
+			EvalTime: time.Duration(u.evalNs.Load()),
+		}
+	}
+	return out
+}
+
+// Eval evaluates q across all shards and returns the merged answer.
+// The query must be valid and have at least one output node. Safe for
+// concurrent use.
+func (se *ShardedEngine) Eval(q *core.Query) *core.Answer {
+	ans, _, err := se.EvalStatsCtx(context.Background(), q)
+	if err != nil {
+		panic("shard: " + err.Error()) // background context cannot fail
+	}
+	return ans
+}
+
+// EvalCtx evaluates q under ctx; cancellation propagates to every
+// shard evaluation. Safe for concurrent use.
+func (se *ShardedEngine) EvalCtx(ctx context.Context, q *core.Query) (*core.Answer, error) {
+	ans, _, err := se.EvalStatsCtx(ctx, q)
+	return ans, err
+}
+
+// EvalStatsCtx scatter-gathers q: every shard engine evaluates it
+// (bounded by Workers concurrent evaluations), per-shard tuples are
+// remapped to global ids, and the answers merge through
+// gtea.MergeAnswers. The returned stats sum the per-shard work
+// counters; TotalTime is the scatter-gather wall time. On cancellation
+// (or a shard failure) the remaining shard evaluations are cancelled,
+// every worker is drained before returning — no shard worker outlives
+// the call — and the first error in shard order is returned. Safe for
+// concurrent use.
+func (se *ShardedEngine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, gtea.Stats, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background() // same tolerance as gtea.EvalStatsCtx
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		ans *core.Answer
+		st  gtea.Stats
+		err error
+	}
+	results := make([]result, len(se.shards))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < se.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				u := se.shards[si]
+				t0 := time.Now()
+				ans, st, err := u.eng.EvalStatsCtx(cctx, q)
+				u.evals.Add(1)
+				u.evalNs.Add(time.Since(t0).Nanoseconds())
+				if err == nil {
+					remap(ans, u.globals)
+				} else {
+					cancel() // a failed shard makes the merge impossible
+				}
+				results[si] = result{ans, st, err}
+			}
+		}()
+	}
+	for si := range se.shards {
+		jobs <- si
+	}
+	close(jobs)
+	wg.Wait()
+
+	var agg gtea.Stats
+	parts := make([]*core.Answer, 0, len(results))
+	var firstErr error
+	for _, r := range results {
+		agg.Input += r.st.Input
+		agg.Index += r.st.Index
+		agg.Intermediate += r.st.Intermediate
+		agg.PruneTime += r.st.PruneTime
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.err == nil {
+			parts = append(parts, r.ans)
+		}
+	}
+	agg.TotalTime = time.Since(start)
+	if firstErr != nil {
+		return nil, agg, firstErr
+	}
+	ans := gtea.MergeAnswers(q.Outputs(), parts...)
+	agg.Results = int64(ans.Len())
+	return ans, agg, nil
+}
+
+// remap rewrites a shard answer's tuples from shard-local ids into the
+// global id space, in place.
+func remap(ans *core.Answer, globals []graph.NodeID) {
+	for _, t := range ans.Tuples {
+		for i, v := range t {
+			t[i] = globals[v]
+		}
+	}
+}

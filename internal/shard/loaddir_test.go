@@ -1,0 +1,33 @@
+package shard
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gtpq/internal/gen"
+)
+
+func TestLoadDirRejectsImplausibleTotals(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := gen.Forest(r, 3, 8, 10, []string{"a"})
+	plan, _ := Partition(g, 2, ModeWCC)
+	dir := t.TempDir()
+	if _, err := WriteDir(dir, "ds", g, plan, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(dir, ManifestName)
+	blob, _ := os.ReadFile(manPath)
+	var m map[string]interface{}
+	json.Unmarshal(blob, &m)
+	m["total_nodes"] = float64(1 << 60)
+	mut, _ := json.Marshal(m)
+	os.WriteFile(manPath, mut, 0o644)
+	_, _, err := LoadDir(dir, LoadOptions{})
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("huge total_nodes: err = %v", err)
+	}
+}

@@ -1,0 +1,416 @@
+package shard
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/snapshot"
+)
+
+// A sharded dataset on disk is a directory:
+//
+//	<dir>/manifest.json    versioned manifest with content hashes
+//	<dir>/shard-0000.snap  per-shard graph + reachability index
+//	<dir>/shard-0000.ids   per-shard local→global id mapping
+//	<dir>/shard-0001.snap  ...
+//
+// The manifest is the integrity root: LoadDir refuses to build an
+// engine unless every listed file exists with the recorded SHA-256,
+// no unlisted shard file is present, and the shard id sets cover the
+// full global id range — a corrupted or partially-copied directory
+// fails loudly instead of serving partial data. The manifest is the
+// replication unit ROADMAP.md's horizontal-serving item calls for:
+// ship the directory, verify the hashes, serve.
+
+// ManifestName is the manifest file name inside a shard directory.
+const ManifestName = "manifest.json"
+
+// ManifestFormat identifies the manifest schema.
+const ManifestFormat = "gtpq-shard"
+
+// ManifestVersion is the current manifest schema version.
+const ManifestVersion = 1
+
+// idsMagic heads the .ids sidecar files (local→global id mapping).
+const idsMagic = "GTPQIDS1"
+
+// ShardFile describes one shard's files in the manifest.
+type ShardFile struct {
+	Snap       string `json:"snap"`
+	SnapSHA256 string `json:"snap_sha256"`
+	IDs        string `json:"ids"`
+	IDsSHA256  string `json:"ids_sha256"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+}
+
+// Manifest describes a sharded dataset directory.
+type Manifest struct {
+	Format     string      `json:"format"`
+	Version    int         `json:"version"`
+	Name       string      `json:"name"`
+	Mode       Mode        `json:"mode"`
+	Index      string      `json:"index"`
+	TotalNodes int         `json:"total_nodes"`
+	TotalEdges int         `json:"total_edges"`
+	Replicated int         `json:"replicated"`
+	Shards     []ShardFile `json:"shards"`
+}
+
+// WriteDir partitions nothing itself — it materializes a computed plan
+// under dir: per-shard snapshots (building each shard's reachability
+// index), id sidecars, and finally the manifest, written atomically
+// last so a crashed run never leaves a directory that passes
+// verification. name is recorded in the manifest and must match the
+// dataset name the catalog will serve it under.
+func WriteDir(dir, name string, g *graph.Graph, plan *Plan, opt Options) (*Manifest, error) {
+	if !plan.Mode.valid() {
+		return nil, fmt.Errorf("shard: plan mode %q is not concrete", plan.Mode)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	g.Freeze()
+	man := &Manifest{
+		Format:     ManifestFormat,
+		Version:    ManifestVersion,
+		Name:       name,
+		Mode:       plan.Mode,
+		TotalNodes: g.N(),
+		TotalEdges: g.M(),
+		Replicated: plan.Replicated,
+	}
+	for i, part := range plan.Parts {
+		sg := Subgraph(g, part)
+		eng, err := gtea.NewWithOptions(sg, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		man.Index = eng.IndexKind()
+
+		snapName := fmt.Sprintf("shard-%04d.snap", i)
+		snapPath := filepath.Join(dir, snapName)
+		if err := snapshot.SaveFile(snapPath, sg, eng.H); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		snapSum, err := fileSHA256(snapPath)
+		if err != nil {
+			return nil, err
+		}
+
+		idsName := fmt.Sprintf("shard-%04d.ids", i)
+		idsSum, err := writeIDs(filepath.Join(dir, idsName), part)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+
+		man.Shards = append(man.Shards, ShardFile{
+			Snap: snapName, SnapSHA256: snapSum,
+			IDs: idsName, IDsSHA256: idsSum,
+			Nodes: sg.N(), Edges: sg.M(),
+		})
+	}
+
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		return nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// LoadOptions tune LoadDir.
+type LoadOptions struct {
+	// Workers bounds scatter-gather fan-out (default GOMAXPROCS).
+	Workers int
+}
+
+// LoadDir verifies and loads a sharded dataset directory written by
+// WriteDir, reviving every shard's index from its snapshot (no index
+// construction). Any integrity violation — unparsable or
+// wrong-version manifest, missing or unlisted shard file, content-hash
+// mismatch, shard sizes disagreeing with the manifest, or an id
+// mapping that fails to cover the global id range — is an error; a
+// damaged directory never yields a partially-working engine.
+func LoadDir(dir string, opt LoadOptions) (*ShardedEngine, *Manifest, error) {
+	man, err := ReadManifest(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(format string, args ...interface{}) (*ShardedEngine, *Manifest, error) {
+		return nil, nil, fmt.Errorf("shard: %s: %s", dir, fmt.Sprintf(format, args...))
+	}
+
+	// No shard-looking file may exist outside the manifest: an extra
+	// .snap/.ids is evidence of a mangled copy or name corruption.
+	listed := map[string]bool{ManifestName: true}
+	for _, sf := range man.Shards {
+		listed[sf.Snap] = true
+		listed[sf.IDs] = true
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, de := range des {
+		n := de.Name()
+		if (strings.HasSuffix(n, ".snap") || strings.HasSuffix(n, ".ids")) && !listed[n] {
+			return fail("unlisted shard file %q (manifest corruption or stray copy)", n)
+		}
+	}
+
+	// A corrupted total_nodes must fail loudly, not drive a giant
+	// allocation (or panic) below: coverage requires every global id to
+	// appear in some shard, so the per-shard node counts bound it.
+	sumNodes := 0
+	for i, sf := range man.Shards {
+		if sf.Nodes > math.MaxInt32 || sumNodes > math.MaxInt32-sf.Nodes {
+			return fail("shard %d: implausible node count %d", i, sf.Nodes)
+		}
+		sumNodes += sf.Nodes
+	}
+	if man.TotalNodes > sumNodes {
+		return fail("total_nodes %d exceeds the %d nodes the shards hold", man.TotalNodes, sumNodes)
+	}
+
+	se := &ShardedEngine{
+		mode:       man.Mode,
+		kind:       man.Index,
+		workers:    normalizeWorkers(opt.Workers, len(man.Shards)),
+		totalNodes: man.TotalNodes,
+		totalEdges: man.TotalEdges,
+		replicated: man.Replicated,
+	}
+	covered := make([]bool, man.TotalNodes)
+	copies, edgeSum := 0, 0
+	for i, sf := range man.Shards {
+		// Each file is read once; the digest is taken over the exact
+		// bytes that get parsed (no hash-then-reopen window).
+		snapBlob, err := readVerified(filepath.Join(dir, sf.Snap), sf.SnapSHA256)
+		if err != nil {
+			return fail("shard %d: %v", i, err)
+		}
+		idsBlob, err := readVerified(filepath.Join(dir, sf.IDs), sf.IDsSHA256)
+		if err != nil {
+			return fail("shard %d: %v", i, err)
+		}
+		sg, h, err := snapshot.Load(bytes.NewReader(snapBlob))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", filepath.Join(dir, sf.Snap), err)
+		}
+		if sg.N() != sf.Nodes || sg.M() != sf.Edges {
+			return fail("shard %d: snapshot has %d nodes / %d edges, manifest says %d / %d",
+				i, sg.N(), sg.M(), sf.Nodes, sf.Edges)
+		}
+		if h.Kind() != man.Index {
+			return fail("shard %d: index kind %q, manifest says %q", i, h.Kind(), man.Index)
+		}
+		globals, err := parseIDs(sf.IDs, idsBlob)
+		if err != nil {
+			return fail("shard %d: %v", i, err)
+		}
+		if len(globals) != sg.N() {
+			return fail("shard %d: id mapping covers %d nodes, snapshot has %d", i, len(globals), sg.N())
+		}
+		for _, gv := range globals {
+			if int(gv) >= man.TotalNodes {
+				return fail("shard %d: global id %d out of range (%d total nodes)", i, gv, man.TotalNodes)
+			}
+			if man.Mode == ModeWCC && covered[gv] {
+				return fail("shard %d: global id %d appears in two wcc shards", i, gv)
+			}
+			covered[gv] = true
+		}
+		copies += len(globals)
+		edgeSum += sg.M()
+		se.shards = append(se.shards, &shardUnit{eng: gtea.NewWithIndex(sg, h), globals: globals})
+	}
+	for gv, ok := range covered {
+		if !ok {
+			return fail("global id %d is owned by no shard", gv)
+		}
+	}
+	if got := copies - man.TotalNodes; got != man.Replicated {
+		return fail("replicated count %d, manifest says %d", got, man.Replicated)
+	}
+	if man.Mode == ModeWCC && edgeSum != man.TotalEdges {
+		return fail("wcc shards hold %d edges, manifest says %d", edgeSum, man.TotalEdges)
+	}
+	if man.Mode == ModeHash && edgeSum < man.TotalEdges {
+		return fail("hash shards hold %d edges, fewer than the %d logical edges", edgeSum, man.TotalEdges)
+	}
+	return se, man, nil
+}
+
+// ReadManifest parses and structurally validates a manifest file
+// (format, version, mode, shard list shape, file-name hygiene). It
+// does not touch the shard files — LoadDir does the content checks.
+func ReadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var man Manifest
+	if err := dec.Decode(&man); err != nil {
+		return nil, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	fail := func(format string, args ...interface{}) (*Manifest, error) {
+		return nil, fmt.Errorf("shard: %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	if man.Format != ManifestFormat {
+		return fail("format %q, want %q", man.Format, ManifestFormat)
+	}
+	if man.Version != ManifestVersion {
+		return fail("unsupported version %d (this build reads %d)", man.Version, ManifestVersion)
+	}
+	if !man.Mode.valid() {
+		return fail("invalid mode %q", man.Mode)
+	}
+	if len(man.Shards) == 0 {
+		return fail("no shards listed")
+	}
+	if man.TotalNodes < 0 || man.TotalEdges < 0 || man.Replicated < 0 {
+		return fail("negative size fields")
+	}
+	for i, sf := range man.Shards {
+		for _, fn := range []string{sf.Snap, sf.IDs} {
+			if fn == "" || fn != filepath.Base(fn) || strings.HasPrefix(fn, ".") {
+				return fail("shard %d: invalid file name %q", i, fn)
+			}
+		}
+		if sf.Nodes < 0 || sf.Edges < 0 {
+			return fail("shard %d: negative size fields", i)
+		}
+	}
+	return &man, nil
+}
+
+// fileSHA256 returns the lower-case hex SHA-256 of a file's contents.
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// readVerified reads a file once and checks the digest of exactly the
+// bytes it returns against the recorded hash.
+func readVerified(path, want string) ([]byte, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	if got := hex.EncodeToString(sum[:]); !strings.EqualFold(got, want) {
+		return nil, fmt.Errorf("%s: content hash %s does not match manifest %s", filepath.Base(path), got, want)
+	}
+	return blob, nil
+}
+
+// writeIDs writes the local→global id mapping sidecar (magic, uvarint
+// count, then uvarint deltas between consecutive ascending ids) and
+// returns its SHA-256.
+func writeIDs(path string, ids []graph.NodeID) (string, error) {
+	var buf bytes.Buffer
+	buf.WriteString(idsMagic)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	put(uint64(len(ids)))
+	prev := int64(-1)
+	for _, id := range ids {
+		if int64(id) <= prev {
+			return "", fmt.Errorf("ids not strictly ascending at %d", id)
+		}
+		put(uint64(int64(id) - prev))
+		prev = int64(id)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ids-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// parseIDs decodes an id sidecar's bytes into an ascending id list.
+func parseIDs(name string, blob []byte) ([]graph.NodeID, error) {
+	if len(blob) < len(idsMagic) || string(blob[:len(idsMagic)]) != idsMagic {
+		return nil, fmt.Errorf("%s: missing %s magic", name, idsMagic)
+	}
+	r := bytes.NewReader(blob[len(idsMagic):])
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: truncated count", name)
+	}
+	if count > uint64(len(blob)) { // each id takes at least one byte
+		return nil, fmt.Errorf("%s: implausible id count %d", name, count)
+	}
+	ids := make([]graph.NodeID, 0, count)
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: truncated at id %d", name, i)
+		}
+		if delta == 0 {
+			return nil, fmt.Errorf("%s: ids not strictly ascending at entry %d", name, i)
+		}
+		prev += int64(delta)
+		if prev > int64(^uint32(0)>>1) {
+			return nil, fmt.Errorf("%s: id %d overflows", name, prev)
+		}
+		ids = append(ids, graph.NodeID(prev))
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%s: %d trailing bytes", name, r.Len())
+	}
+	return ids, nil
+}

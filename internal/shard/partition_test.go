@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gen"
+	"gtpq/internal/graph"
+)
+
+// TestWeakComponents checks WCC identification on a hand-built graph.
+func TestWeakComponents(t *testing.T) {
+	g := graph.New(7, 5)
+	for i := 0; i < 7; i++ {
+		g.AddNode("a", nil)
+	}
+	// Components: {0,1,2} (1->0, 1->2), {3,4} (3->4), {5}, {6}.
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.Freeze()
+	comps := WeakComponents(g)
+	want := [][]graph.NodeID{{0, 1, 2}, {3, 4}, {5}, {6}}
+	if len(comps) != len(want) {
+		t.Fatalf("got %d components %v, want %d", len(comps), comps, len(want))
+	}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPartitionWCC checks the wcc planner: disjoint parts covering all
+// vertices, no replication, never splitting a component, and rough
+// balance on a many-component forest.
+func TestPartitionWCC(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	g := gen.Forest(r, 16, 10, 14, []string{"a", "b"})
+	const k = 4
+	plan, err := Partition(g, k, ModeWCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != ModeWCC || plan.Replicated != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	seen := make([]bool, g.N())
+	for _, part := range plan.Parts {
+		for _, v := range part {
+			if seen[v] {
+				t.Fatalf("vertex %d in two wcc parts", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	// Components are never split: both endpoints of every edge land in
+	// the same part.
+	partOf := make([]int, g.N())
+	for s, part := range plan.Parts {
+		for _, v := range part {
+			partOf[v] = s
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			if partOf[v] != partOf[w] {
+				t.Fatalf("edge %d->%d cut across wcc shards %d/%d", v, w, partOf[v], partOf[w])
+			}
+		}
+	}
+	// Greedy bin packing over 16 equal blocks on 4 shards is exact.
+	for s, part := range plan.Parts {
+		if len(part) != g.N()/k {
+			t.Fatalf("shard %d holds %d vertices, want %d", s, len(part), g.N()/k)
+		}
+	}
+}
+
+// TestPartitionHashClosure checks the hash fallback's soundness
+// invariant: every part is closed under reachability, every vertex is
+// in its owner's part, and Replicated counts the copies.
+func TestPartitionHashClosure(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := gen.Graph(r, 60, 150, []string{"a", "b", "c"}, true)
+	const k = 3
+	plan, err := Partition(g, k, ModeHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s, part := range plan.Parts {
+		in := map[graph.NodeID]bool{}
+		for _, v := range part {
+			in[v] = true
+		}
+		for _, v := range part {
+			for _, w := range g.Out(v) {
+				if !in[w] {
+					t.Fatalf("shard %d not closed: %d->%d leaves the part", s, v, w)
+				}
+			}
+		}
+		total += len(part)
+	}
+	for v := 0; v < g.N(); v++ {
+		owner := Owner(graph.NodeID(v), k)
+		found := false
+		for _, w := range plan.Parts[owner] {
+			if w == graph.NodeID(v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d missing from its owner shard %d", v, owner)
+		}
+	}
+	if plan.Replicated != total-g.N() {
+		t.Fatalf("Replicated = %d, want %d", plan.Replicated, total-g.N())
+	}
+}
+
+// TestPartitionAuto checks mode resolution: enough components → wcc,
+// one giant component → hash.
+func TestPartitionAuto(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	forest := gen.Forest(r, 8, 8, 10, []string{"a"})
+	plan, err := Partition(forest, 4, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != ModeWCC {
+		t.Fatalf("forest resolved to %s, want wcc", plan.Mode)
+	}
+	chain := graph.New(30, 29)
+	for i := 0; i < 30; i++ {
+		chain.AddNode("a", nil)
+	}
+	for i := 0; i < 29; i++ {
+		chain.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	plan, err = Partition(chain, 4, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != ModeHash {
+		t.Fatalf("single chain resolved to %s, want hash", plan.Mode)
+	}
+	if _, err := Partition(chain, 0, ModeAuto); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(chain, 2, Mode("bogus")); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+// TestEmptyShards checks the K > N boundary: shards with no vertices
+// still build engines (on empty subgraphs) and evaluate to empty
+// partial answers, for both modes and backends.
+func TestEmptyShards(t *testing.T) {
+	g := graph.New(2, 1)
+	g.AddNode("a", nil)
+	g.AddNode("b", nil)
+	g.AddEdge(0, 1)
+	g.Freeze()
+	for _, mode := range []Mode{ModeWCC, ModeHash} {
+		plan, err := Partition(g, 5, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Parts) != 5 {
+			t.Fatalf("%s: %d parts, want 5", mode, len(plan.Parts))
+		}
+		for _, kind := range []string{"threehop", "tc"} {
+			se, err := NewEngine(g, plan, Options{Index: kind})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, kind, err)
+			}
+			q := core.NewQuery()
+			q.SetOutput(q.AddRoot("x", core.Label("a")))
+			if got := se.Eval(q).Len(); got != 1 {
+				t.Fatalf("%s/%s: %d results, want 1", mode, kind, got)
+			}
+		}
+	}
+}
+
+// TestSubgraphFidelity checks labels, attributes, and edge kinds
+// survive extraction.
+func TestSubgraphFidelity(t *testing.T) {
+	g := graph.New(4, 3)
+	g.AddNode("a", graph.Attrs{"year": graph.NumV(2001)})
+	g.AddNode("b", graph.Attrs{"name": graph.StrV("x")})
+	g.AddNode("c", nil)
+	g.AddNode("d", nil)
+	g.AddEdge(0, 1)
+	g.AddCrossEdge(1, 2)
+	g.AddEdge(0, 3)
+	g.Freeze()
+	sg := Subgraph(g, []graph.NodeID{0, 1, 2})
+	if sg.N() != 3 || sg.M() != 2 {
+		t.Fatalf("subgraph %d nodes %d edges, want 3/2", sg.N(), sg.M())
+	}
+	if sg.Label(0) != "a" || sg.Label(1) != "b" || sg.Label(2) != "c" {
+		t.Fatal("labels lost")
+	}
+	if v, ok := sg.Attr(0, "year"); !ok || v.Num != 2001 {
+		t.Fatal("numeric attribute lost")
+	}
+	if v, ok := sg.Attr(1, "name"); !ok || v.Str != "x" {
+		t.Fatal("string attribute lost")
+	}
+	if sg.EdgeKindOf(0, 1) != graph.TreeEdge || sg.EdgeKindOf(1, 2) != graph.CrossEdge {
+		t.Fatal("edge kinds lost")
+	}
+}
