@@ -8,6 +8,7 @@
 //	gtpq-serve -data ./datasets -addr :9000 -workers 16 -queue 128
 //	gtpq-serve -data ./datasets -snapshots -preload citations
 //	gtpq-serve -data ./datasets -index tc -parallel
+//	gtpq-serve -data ./datasets -cache-bytes 268435456  # 256 MiB result cache
 //
 // Datasets are `<name>.json` / `<name>.json.gz` graph files (the
 // graphio format), `<name>.snap` index snapshots (loaded without
@@ -15,7 +16,10 @@
 // directories written by gtpq-shard (hash-verified at load and served
 // with scatter-gather; see internal/shard). With -snapshots, the
 // server writes a snapshot the first time it builds an index from raw
-// JSON, so subsequent cold starts are fast.
+// JSON, so subsequent cold starts are fast. Repeated queries answer
+// from a byte-bounded result cache (-cache-bytes, default 64 MiB, 0
+// disables; see internal/qcache) invalidated by hot-reload
+// generations.
 //
 // API sketch (see the README for full curl examples):
 //
@@ -58,6 +62,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 		maxTime   = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
 		maxRows   = flag.Int("max-rows", 10000, "max result rows returned per query (0: unlimited)")
+		cacheB    = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (0: disable caching)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -113,6 +118,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTime,
 		MaxRows:        *maxRows,
+		CacheBytes:     *cacheB,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -112,7 +112,10 @@ func TestAblationVariantsAgree(t *testing.T) {
 		noContours bool
 		noShrink   bool
 	}{{"nocontours", true, false}, {"noshrink", false, true}} {
-		variant := *base
+		// Share the built index but not the engine itself (it carries a
+		// sync.Pool of evaluation contexts and must not be copied).
+		variant := gtea.NewWithIndex(g, base.H)
+		variant.Opt = base.Opt
 		variant.Opt.NoContours = opts.noContours
 		variant.Opt.NoShrink = opts.noShrink
 		for _, s := range w.sizes {

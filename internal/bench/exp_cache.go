@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gen"
+	"gtpq/internal/gtea"
+	"gtpq/internal/qcache"
+	"gtpq/internal/qlang"
+)
+
+// cacheKs is the shard ladder the cache experiment runs over: the flat
+// single-engine case and one scatter-gather case (hits skip the whole
+// fan-out, so the win grows with K).
+var cacheKs = []int{1, 4}
+
+// cacheRequests is the request count of one Zipf sweep.
+const cacheRequests = 200
+
+// cachePopulation is how many distinct queries the workload draws from.
+const cachePopulation = 16
+
+// cacheBudget is the experiment's cache size; comfortably larger than
+// the workload's total answer bytes, so the sweep measures hit/miss
+// economics rather than eviction pressure.
+const cacheBudget = 32 << 20
+
+// cacheEngine adapts the two engine shapes to one evaluation call.
+type cacheEngine interface {
+	EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, gtea.Stats, error)
+	IndexKind() string
+}
+
+// cacheWorkload builds the query population: the shard workload's
+// hand-written queries padded with generated ones, all canonicalized
+// the way the server keys them.
+func (r *Runner) cacheWorkload() ([]string, []*core.Query) {
+	rng := rand.New(rand.NewSource(r.Cfg.Seed + 1))
+	canon := make([]string, 0, cachePopulation)
+	qs := make([]*core.Query, 0, cachePopulation)
+	add := func(q *core.Query) {
+		for i, n := range q.Nodes {
+			n.Name = fmt.Sprintf("n%d", i)
+		}
+		canon = append(canon, qlang.Format(q))
+		qs = append(qs, q)
+	}
+	for _, wl := range shardQueries() {
+		add(wl)
+	}
+	for len(qs) < cachePopulation {
+		add(gen.Query(rng, 2+rng.Intn(3), shardLabels, true, true))
+	}
+	return canon, qs
+}
+
+// cacheSweep replays one Zipf-distributed request stream against eng,
+// optionally through a result cache, and reports the latency split.
+type cacheSweep struct {
+	Requests int
+	Hits     int64
+	Misses   int64
+	Total    time.Duration
+	HitTime  time.Duration
+	MissTime time.Duration
+	Rows     int64
+}
+
+func (r *Runner) runCacheSweep(eng cacheEngine, canon []string, qs []*core.Query, useCache bool) cacheSweep {
+	var c *qcache.Cache
+	if useCache {
+		c = qcache.New(cacheBudget)
+	}
+	// Zipf over the population: rank 0 dominates, the tail stays warm
+	// enough to matter. Deterministic per config.
+	zr := rand.New(rand.NewSource(r.Cfg.Seed + 7))
+	zipf := rand.NewZipf(zr, 1.2, 1, uint64(len(qs)-1))
+	ctx := context.Background()
+
+	var sw cacheSweep
+	sw.Requests = cacheRequests
+	for i := 0; i < cacheRequests; i++ {
+		qi := int(zipf.Uint64())
+		q, key := qs[qi], qcache.Key{Dataset: "bench", Generation: 1, Query: canon[qi], Index: eng.IndexKind()}
+		start := time.Now()
+		var rows int
+		if c == nil {
+			ans, _, err := eng.EvalStatsCtx(ctx, q)
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			rows = ans.Len()
+			sw.Misses++
+			sw.MissTime += time.Since(start)
+		} else {
+			ans, src, err := c.Do(ctx, key, func() (*core.Answer, error) {
+				a, _, err := eng.EvalStatsCtx(ctx, q)
+				return a, err
+			})
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			rows = ans.Len()
+			d := time.Since(start)
+			if src == qcache.Hit {
+				sw.Hits++
+				sw.HitTime += d
+			} else {
+				sw.Misses++
+				sw.MissTime += d
+			}
+		}
+		sw.Total += time.Since(start)
+		sw.Rows += int64(rows)
+	}
+	return sw
+}
+
+// ResultCache prints the cache experiment: per shard count, the Zipf
+// sweep with the cache off and on — average request latency, hit rate,
+// and the hit/miss latency split. Row totals are cross-checked between
+// the two modes (the cache must be invisible in the answers).
+func (r *Runner) ResultCache() {
+	g := r.ShardGraph()
+	canon, qs := r.cacheWorkload()
+	r.printf("== Result cache: Zipf(%d queries) x %d requests, %d nodes / %d edges ==\n",
+		len(qs), cacheRequests, g.N(), g.M())
+	r.printf("%-10s %-6s %10s %10s %12s %12s %12s\n",
+		"engine", "cache", "hits", "hit-rate", "avg/req", "avg-hit", "avg-miss")
+	for _, k := range cacheKs {
+		eng := r.cacheEngineFor(k)
+		var baseline int64 = -1
+		for _, useCache := range []bool{false, true} {
+			sw := r.runCacheSweep(eng, canon, qs, useCache)
+			if baseline == -1 {
+				baseline = sw.Rows
+			} else if sw.Rows != baseline {
+				panic(fmt.Sprintf("bench: cache changed answers at K=%d: %d vs %d rows", k, sw.Rows, baseline))
+			}
+			mode := "off"
+			if useCache {
+				mode = "on"
+			}
+			name := "flat"
+			if k > 1 {
+				name = fmt.Sprintf("shard-%d", k)
+			}
+			avgHit, avgMiss := "-", "-"
+			if sw.Hits > 0 {
+				avgHit = fmtDur(sw.HitTime / time.Duration(sw.Hits))
+			}
+			if sw.Misses > 0 {
+				avgMiss = fmtDur(sw.MissTime / time.Duration(sw.Misses))
+			}
+			r.printf("%-10s %-6s %10d %9.1f%% %12s %12s %12s\n",
+				name, mode, sw.Hits, 100*float64(sw.Hits)/float64(sw.Requests),
+				fmtDur(sw.Total/time.Duration(sw.Requests)), avgHit, avgMiss)
+		}
+	}
+}
+
+// cacheEngineFor returns the evaluation engine for a shard count: the
+// plain (cached) GTEA engine at K=1, the scatter-gather engine above.
+func (r *Runner) cacheEngineFor(k int) cacheEngine {
+	if k == 1 {
+		return r.GTEA(r.ShardGraph())
+	}
+	return r.shardEngine(k)
+}
+
+// cacheRecords emits the machine-readable cache experiment: one record
+// per (K, cache on/off) with hit/miss counts and the latency split.
+// CI archives these alongside the rest of the -json output.
+func (r *Runner) cacheRecords() []Record {
+	g := r.ShardGraph()
+	canon, qs := r.cacheWorkload()
+	var recs []Record
+	for _, k := range cacheKs {
+		eng := r.cacheEngineFor(k)
+		for _, useCache := range []bool{false, true} {
+			sw := r.runCacheSweep(eng, canon, qs, useCache)
+			mode := "off"
+			if useCache {
+				mode = "on"
+			}
+			rec := Record{
+				Experiment: "cache",
+				Kind:       eng.IndexKind(),
+				Query:      "zipf",
+				Nodes:      g.N(),
+				Edges:      g.M(),
+				Shards:     k,
+				CacheMode:  mode,
+				Requests:   int64(sw.Requests),
+				Hits:       sw.Hits,
+				HitRate:    float64(sw.Hits) / float64(sw.Requests),
+				CacheBytes: cacheBudget,
+				NsPerOp:    sw.Total.Nanoseconds() / int64(sw.Requests),
+				Results:    sw.Rows,
+			}
+			if sw.Hits > 0 {
+				rec.HitNs = sw.HitTime.Nanoseconds() / sw.Hits
+			}
+			if sw.Misses > 0 {
+				rec.MissNs = sw.MissTime.Nanoseconds() / sw.Misses
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}

@@ -218,4 +218,6 @@ func (r *Runner) All() {
 	r.Concurrency()
 	r.printf("\n")
 	r.Sharding()
+	r.printf("\n")
+	r.ResultCache()
 }

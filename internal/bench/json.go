@@ -43,6 +43,18 @@ type Record struct {
 	Shards     int    `json:"shards,omitempty"`
 	ShardMode  string `json:"shard_mode,omitempty"`
 	Replicated int    `json:"replicated,omitempty"`
+
+	// Cache experiment fields: whether the result cache was on for the
+	// sweep, the request/hit counts of the Zipf workload, the cache's
+	// byte budget, and the per-request latency split (average ns per
+	// hit-served vs. evaluated request).
+	CacheMode  string  `json:"cache_mode,omitempty"`
+	Requests   int64   `json:"requests,omitempty"`
+	Hits       int64   `json:"hits,omitempty"`
+	HitRate    float64 `json:"hit_rate,omitempty"`
+	CacheBytes int64   `json:"cache_bytes,omitempty"`
+	HitNs      int64   `json:"hit_ns,omitempty"`
+	MissNs     int64   `json:"miss_ns,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -127,6 +139,8 @@ func (r *Runner) JSONRecords() []Record {
 
 	// Scatter-gather over the shard-count ladder.
 	recs = append(recs, r.shardRecords()...)
+	// Result-cache Zipf sweeps (cache on/off per shard count).
+	recs = append(recs, r.cacheRecords()...)
 	return recs
 }
 

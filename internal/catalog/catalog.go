@@ -80,6 +80,12 @@ type Dataset struct {
 	// snapshot (no index construction) rather than built. Sharded
 	// datasets always revive from their per-shard snapshots.
 	FromSnapshot bool
+	// Generation identifies this load of the dataset: it is unique per
+	// catalog entry and strictly increases every time any dataset is
+	// (re)loaded, so a hot reload or re-shard always changes it. Result
+	// caches key on it — entries of an old generation can never serve a
+	// new one.
+	Generation uint64
 	// LoadTime is how long the build or revive took.
 	LoadTime time.Duration
 
@@ -135,7 +141,10 @@ type Info struct {
 	IndexKind    string `json:"index_kind,omitempty"`
 	IndexSize    int    `json:"index_size,omitempty"`
 	FromSnapshot bool   `json:"from_snapshot,omitempty"`
-	LoadMillis   int64  `json:"load_ms,omitempty"`
+	// Generation is the loaded entry's hot-reload generation (0 when
+	// not loaded) — the value result-cache keys carry.
+	Generation uint64 `json:"generation,omitempty"`
+	LoadMillis int64  `json:"load_ms,omitempty"`
 	// Shards is the shard count of a sharded dataset (0 for flat);
 	// ShardMode its partitioning mode and ShardInfo the per-shard
 	// sizes and timings once loaded.
@@ -151,6 +160,7 @@ type Catalog struct {
 
 	mu      sync.Mutex
 	entries map[string]*entry
+	nextGen uint64 // generation counter; ++ per entry created (under mu)
 }
 
 // entry is the cached (or in-flight) load of one dataset generation.
@@ -164,6 +174,7 @@ type entry struct {
 	err   error
 	refs  int
 	stale bool
+	gen   uint64 // this load's generation (see Dataset.Generation)
 	// srcPath/srcMod identify the file generation this entry was
 	// loaded from; a differing mtime on Acquire marks the entry stale.
 	srcPath string
@@ -302,7 +313,8 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 			c.mu.Unlock()
 			return nil, rerr
 		}
-		e = &entry{c: c, name: name, ready: make(chan struct{}), refs: 1, srcPath: path, srcMod: mod}
+		c.nextGen++
+		e = &entry{c: c, name: name, ready: make(chan struct{}), refs: 1, srcPath: path, srcMod: mod, gen: c.nextGen}
 		c.entries[name] = e
 		go e.load(c.opt, kind)
 	}
@@ -328,6 +340,7 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 		Engine:       e.ds.Engine,
 		Sharded:      e.ds.Sharded,
 		FromSnapshot: e.ds.FromSnapshot,
+		Generation:   e.gen,
 		LoadTime:     e.ds.LoadTime,
 		entry:        e,
 	}, nil
@@ -449,6 +462,7 @@ func (c *Catalog) List() ([]Info, error) {
 					info.IndexKind = e.ds.Engine.IndexKind()
 					info.IndexSize = e.ds.Engine.IndexSize()
 					info.FromSnapshot = e.ds.FromSnapshot
+					info.Generation = e.gen
 					info.LoadMillis = e.ds.LoadTime.Milliseconds()
 					if se, ok := e.ds.Engine.(*shard.ShardedEngine); ok {
 						info.Shards = se.NumShards()

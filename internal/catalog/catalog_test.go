@@ -228,6 +228,9 @@ func TestHotReload(t *testing.T) {
 	if old.Graph.N() != 2 || old.Engine == fresh.Engine {
 		t.Fatal("old holder lost its engine across the hot reload")
 	}
+	if fresh.Generation <= old.Generation {
+		t.Fatalf("hot reload did not bump the generation: %d -> %d", old.Generation, fresh.Generation)
+	}
 
 	infos, err := c.List()
 	if err != nil {
@@ -239,13 +242,72 @@ func TestHotReload(t *testing.T) {
 	old.Release()
 	fresh.Release()
 
-	// Explicit Reload also swaps.
+	// Explicit Reload also swaps (and bumps the generation).
 	e1, _ := c.Acquire("d")
 	c.Reload("d")
 	e2, _ := c.Acquire("d")
 	if e1.Engine == e2.Engine {
 		t.Fatal("Reload did not swap the engine")
 	}
+	if e2.Generation <= e1.Generation {
+		t.Fatalf("Reload did not bump the generation: %d -> %d", e1.Generation, e2.Generation)
+	}
 	e1.Release()
 	e2.Release()
+}
+
+// TestGenerations pins the generation contract result caches key on:
+// unique per loaded entry, stable across shared Acquires, strictly
+// increasing across reloads, and reported by List.
+func TestGenerations(t *testing.T) {
+	dir := t.TempDir()
+	writeGraph(t, dir, "x.json", []string{"a", "b"})
+	writeGraph(t, dir, "y.json", []string{"a", "b"})
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := c.Acquire("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := c.Acquire("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1.Generation == 0 || x1.Generation != x2.Generation {
+		t.Fatalf("shared acquires disagree on generation: %d vs %d", x1.Generation, x2.Generation)
+	}
+	y, err := c.Acquire("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Generation == x1.Generation {
+		t.Fatalf("distinct datasets share generation %d", y.Generation)
+	}
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		want := x1.Generation
+		if info.Name == "y" {
+			want = y.Generation
+		}
+		if info.Generation != want {
+			t.Fatalf("List generation for %s = %d, want %d", info.Name, info.Generation, want)
+		}
+	}
+	c.Reload("x")
+	x3, err := c.Acquire("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x3.Generation <= x1.Generation || x3.Generation <= y.Generation {
+		t.Fatalf("reloaded generation %d not beyond %d/%d", x3.Generation, x1.Generation, y.Generation)
+	}
+	x1.Release()
+	x2.Release()
+	y.Release()
+	x3.Release()
 }

@@ -1,0 +1,89 @@
+package gtea
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gen"
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+)
+
+// benchWorkload builds the benchmark queries over the {a,b,c} alphabet.
+// "pair" is the canonical two-output miss-path workload the PR targets;
+// "scan" bounds the floor and "neg" adds predicate logic.
+func benchWorkload() map[string]*core.Query {
+	pair := core.NewQuery()
+	x := pair.AddRoot("x", core.Label("a"))
+	pair.AddNode("y", core.Backbone, x, core.AD, core.Label("b"))
+	pair.SetOutput(0)
+	pair.SetOutput(1)
+
+	scan := core.NewQuery()
+	scan.AddRoot("x", core.Label("a"))
+	scan.SetOutput(0)
+
+	neg := core.NewQuery()
+	nx := neg.AddRoot("x", core.Label("c"))
+	ny := neg.AddNode("y", core.Predicate, nx, core.AD, core.Label("a"))
+	neg.SetStruct(nx, logic.Not(logic.Var(ny)))
+	neg.SetOutput(nx)
+
+	return map[string]*core.Query{"scan": scan, "pair": pair, "neg": neg}
+}
+
+// benchGraph is the benchmark workload graph: a forest of independent
+// random DAG blocks (the shard experiment's shape), so candidate sets
+// are large but reachability — and with it the result set — stays
+// bounded per block. That keeps a single evaluation fast and puts the
+// pruning rounds, not result materialization, in the numerator.
+func benchGraph() *graph.Graph {
+	return gen.Forest(rand.New(rand.NewSource(11)), 16, 160, 360, []string{"a", "b", "c"})
+}
+
+// BenchmarkEval measures steady-state Eval latency and allocations per
+// call on a shared engine — the server's cache-miss path. Run with
+// -benchmem (ReportAllocs is already on) and compare allocs/op across
+// PRs; the result cache PR's acceptance bar is a ≥30% allocs/op
+// reduction on pair vs. its pre-PR baseline.
+func BenchmarkEval(b *testing.B) {
+	g := benchGraph()
+	for _, kind := range []string{"threehop", "tc"} {
+		e, err := NewWithOptions(g, Options{Index: kind})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for name, q := range benchWorkload() {
+			b.Run(fmt.Sprintf("%s/%s", kind, name), func(b *testing.B) {
+				e.Eval(q) // warm up (and pre-size pooled scratch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.Eval(q)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEvalParallel drives the pair workload from GOMAXPROCS
+// goroutines over one shared engine, the shape of concurrent serving
+// traffic; allocation churn here is what the evalContext pool removes.
+func BenchmarkEvalParallel(b *testing.B) {
+	g := benchGraph()
+	e, err := NewWithOptions(g, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := benchWorkload()["pair"]
+	e.Eval(q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			e.Eval(q)
+		}
+	})
+}

@@ -20,6 +20,7 @@ package gtea
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"gtpq/internal/core"
@@ -70,6 +71,12 @@ type Engine struct {
 	G   *graph.Graph
 	H   reach.ContourIndex
 	Opt Options
+
+	// ctxPool recycles evalContexts (and all their scratch: candidate
+	// arenas, bitsets, bucket buffers) across calls, so a warmed
+	// engine's evaluations allocate only their results. Contexts are
+	// engine-local because their scratch is sized to this graph.
+	ctxPool sync.Pool
 }
 
 // New builds a GTEA engine (and its 3-hop index) for g.
@@ -113,8 +120,27 @@ type evalContext struct {
 	ch  reach.ChainIndex // non-nil when the backend has chain structure
 	opt Options
 
-	mat    [][]graph.NodeID
-	matSet []map[graph.NodeID]bool
+	// mat[u] is query node u's surviving candidate list; the slices
+	// point into candArena so a whole evaluation's candidate storage is
+	// one (reused) allocation. matSet[u] mirrors mat[u] as a bitset for
+	// O(1) membership during PC-adjacency and matching-graph passes.
+	mat       [][]graph.NodeID
+	matSet    []core.Bitset
+	candArena []graph.NodeID
+
+	// Pruning scratch, reused across calls (see prune.go): valBuf holds
+	// per-candidate child valuations, adKids/pcKids the current node's
+	// child split, cps/gps the per-child contour summaries, and the
+	// bucket* buffers the chain-grouped candidate orderings.
+	valBuf    []bool
+	adKids    []int
+	pcKids    []int
+	ambiguous []int
+	cps       []*reach.Contour
+	gps       []reach.PredContour
+	bucketPos []chainPos
+	bucketBuf []graph.NodeID
+	bucketOut [][]graph.NodeID
 
 	stat Stats
 	rst  reach.Stats // per-call index-lookup sink
@@ -164,12 +190,31 @@ func (ec *evalContext) tick() bool {
 	return ec.cancelled()
 }
 
+// newContext checks a context out of the pool (or allocates the first
+// time), re-arming it for this engine. All scratch buffers keep their
+// backing arrays; everything observable is reset.
 func (e *Engine) newContext() *evalContext {
-	ec := &evalContext{g: e.G, h: e.H, opt: e.Opt}
-	if ci, ok := e.H.(reach.ChainIndex); ok {
-		ec.ch = ci
+	ec, _ := e.ctxPool.Get().(*evalContext)
+	if ec == nil {
+		ec = &evalContext{}
 	}
+	ec.g, ec.h, ec.opt = e.G, e.H, e.Opt
+	ec.ch, _ = e.H.(reach.ChainIndex)
+	ec.stat = Stats{}
+	ec.rst = reach.Stats{}
+	ec.ctx, ec.err, ec.ops = nil, nil, 0
 	return ec
+}
+
+// release returns a context to the pool. Callers must not hand out
+// references into its scratch (mat, buckets, arenas) past this point;
+// answers are safe — their tuples are freshly allocated.
+func (e *Engine) release(ec *evalContext) {
+	// Drop contour references so a pooled context cannot pin another
+	// evaluation's merged contours (or, after a reload, an old index).
+	clear(ec.cps)
+	clear(ec.gps)
+	e.ctxPool.Put(ec)
 }
 
 // Eval evaluates q and returns its answer. The query must be valid and
@@ -203,6 +248,7 @@ func (e *Engine) EvalCtx(ctx context.Context, q *core.Query) (*core.Answer, erro
 func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, Stats, error) {
 	start := time.Now()
 	ec := e.newContext()
+	defer e.release(ec)
 	// Done() is nil exactly for never-cancellable contexts (Background,
 	// TODO, value-only chains): skip all polling overhead for them.
 	if ctx != nil && ctx.Done() != nil {
@@ -250,24 +296,68 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 // for concurrent use.
 func (e *Engine) FilterOnly(q *core.Query) [][]graph.NodeID {
 	ec := e.newContext()
+	defer e.release(ec)
 	ec.initCandidates(q)
 	ec.pruneDownward(q)
 	if len(ec.mat[q.Root]) > 0 {
 		prime := ec.primeSubtree(q, q.Outputs())
 		ec.pruneUpward(q, prime)
 	}
-	return ec.mat
+	// Copy out of the pooled arena: the caller keeps these slices past
+	// the context's reuse.
+	out := make([][]graph.NodeID, len(ec.mat))
+	for u := range ec.mat {
+		out[u] = append([]graph.NodeID(nil), ec.mat[u]...)
+	}
+	return out
 }
 
-// initCandidates fills the initial candidate matching nodes.
+// initCandidates fills the initial candidate matching nodes and sizes
+// the per-query scratch. Candidate lists are copied — pruning filters
+// in place, and Candidates may return the graph's internal label index
+// (also shared between query nodes with the same predicate) — but into
+// one reused arena, not one allocation per node.
 func (ec *evalContext) initCandidates(q *core.Query) {
-	ec.mat = make([][]graph.NodeID, len(q.Nodes))
-	ec.matSet = make([]map[graph.NodeID]bool, len(q.Nodes))
+	n := len(q.Nodes)
+	ec.mat = growSlice(ec.mat, n)
+	ec.matSet = growSlice(ec.matSet, n)
+	ec.valBuf = growSlice(ec.valBuf, n)
+	ec.cps = growSlice(ec.cps, n)
+	ec.gps = growSlice(ec.gps, n)
+
+	// First pass borrows the (read-only) candidate sources to size the
+	// arena; the second copies, so arena growth cannot move slices that
+	// were already handed out.
+	total := 0
 	for u := range q.Nodes {
-		// Copy: pruning filters in place, and Candidates may return the
-		// graph's internal label index (also shared between query nodes
-		// with the same predicate).
-		ec.mat[u] = append([]graph.NodeID(nil), core.Candidates(ec.g, q.Nodes[u].Attr)...)
-		ec.stat.Input += int64(len(ec.mat[u]))
+		cs := core.Candidates(ec.g, q.Nodes[u].Attr)
+		ec.mat[u] = cs
+		total += len(cs)
+		ec.stat.Input += int64(len(cs))
 	}
+	if cap(ec.candArena) < total {
+		ec.candArena = make([]graph.NodeID, 0, total)
+	}
+	arena := ec.candArena[:0]
+	for u := range q.Nodes {
+		start := len(arena)
+		arena = append(arena, ec.mat[u]...)
+		// Full slice expression: an append past one node's region must
+		// reallocate rather than clobber its neighbor (pruning only ever
+		// shrinks, but the invariant should not rest on that alone).
+		ec.mat[u] = arena[start:len(arena):len(arena)]
+	}
+	ec.candArena = arena
+}
+
+// growSlice resizes s to length n, reusing capacity. Elements keep
+// whatever state they had (bitsets keep their backing arrays; pointer
+// slots may hold stale values — callers overwrite before reading).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n)
+	copy(ns, s)
+	return ns
 }

@@ -145,7 +145,7 @@ func (ec *evalContext) buildMatchingGraph(q *core.Query, comps []component) *mat
 				for i, c := range kids {
 					if q.Nodes[c].PEdge == core.PC {
 						for _, w := range ec.g.Out(v) {
-							if ec.matSet[c][w] {
+							if ec.matSet[c].Has(w) {
 								lists[i] = append(lists[i], w)
 							}
 						}
@@ -219,15 +219,13 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 				// deduplicated before the product (the paper's advance
 				// merging of partial results, line 7 of Procedure 5).
 				var branch [][]graph.NodeID
-				seen := make(map[string]bool)
+				var seen tupleSet
 				for _, w := range lists[i] {
 					for _, t := range collect(kids[i], w) {
 						if ec.tick() {
 							return nil
 						}
-						k := tupleKey(t)
-						if !seen[k] {
-							seen[k] = true
+						if seen.add(t) {
 							branch = append(branch, t)
 						}
 					}
@@ -267,16 +265,14 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 			// existence is already guaranteed by pruning; skip it.
 			continue
 		}
-		seen := make(map[string]bool)
+		var seen tupleSet
 		var all [][]graph.NodeID
 		for _, v := range ec.mat[comp.root] {
 			if ec.err != nil {
 				return
 			}
 			for _, t := range collect(comp.root, v) {
-				k := tupleKey(t)
-				if !seen[k] {
-					seen[k] = true
+				if seen.add(t) {
 					all = append(all, t)
 				}
 			}
@@ -299,4 +295,44 @@ func tupleKey(t []graph.NodeID) string {
 		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	return string(b)
+}
+
+// tupleSet deduplicates result tuples during enumeration. All tuples
+// added to one set have the same width (they cover the same output
+// nodes); widths up to two — the overwhelmingly common case — pack
+// into a uint64 map key, so dedup costs no per-tuple allocation. Wider
+// tuples fall back to string keys. The zero value is an empty set.
+type tupleSet struct {
+	narrow map[uint64]bool
+	wide   map[string]bool
+}
+
+// add inserts t, reporting whether it was new.
+func (s *tupleSet) add(t []graph.NodeID) bool {
+	if len(t) <= 2 {
+		var k uint64
+		switch len(t) {
+		case 1:
+			k = uint64(uint32(t[0]))
+		case 2:
+			k = uint64(uint32(t[0]))<<32 | uint64(uint32(t[1]))
+		}
+		if s.narrow == nil {
+			s.narrow = make(map[uint64]bool)
+		}
+		if s.narrow[k] {
+			return false
+		}
+		s.narrow[k] = true
+		return true
+	}
+	k := tupleKey(t)
+	if s.wide == nil {
+		s.wide = make(map[string]bool)
+	}
+	if s.wide[k] {
+		return false
+	}
+	s.wide[k] = true
+	return true
 }

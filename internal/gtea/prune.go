@@ -1,7 +1,7 @@
 package gtea
 
 import (
-	"sort"
+	"slices"
 
 	"gtpq/internal/core"
 	"gtpq/internal/graph"
@@ -25,10 +25,10 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 		}
 		n := q.Nodes[u]
 		if len(n.Children) == 0 {
-			ec.matSet[u] = toSet(ec.mat[u])
+			ec.setMatSet(u, ec.mat[u])
 			continue
 		}
-		var adKids, pcKids []int
+		adKids, pcKids := ec.adKids[:0], ec.pcKids[:0]
 		for _, c := range n.Children {
 			if q.Nodes[c].PEdge == core.PC {
 				pcKids = append(pcKids, c)
@@ -36,24 +36,25 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 				adKids = append(adKids, c)
 			}
 		}
+		ec.adKids, ec.pcKids = adKids, pcKids
 		fext := q.Fext(u)
 
 		// Predecessor summaries of the (already pruned) AD children:
 		// chain contours when the index exposes them, opaque contours
-		// otherwise, none under the pairwise ablation.
-		var cps map[int]*reach.Contour
-		var gps map[int]reach.PredContour
+		// otherwise, none under the pairwise ablation. Stored in
+		// child-id-indexed scratch; only adKids entries are live.
+		useChain, useGeneric := false, false
 		switch {
 		case ec.opt.NoContours:
 		case ec.ch != nil:
-			cps = make(map[int]*reach.Contour, len(adKids))
+			useChain = true
 			for _, c := range adKids {
-				cps[c] = ec.ch.MergePredLists(ec.mat[c], &ec.rst)
+				ec.cps[c] = ec.ch.MergePredLists(ec.mat[c], &ec.rst)
 			}
 		default:
-			gps = make(map[int]reach.PredContour, len(adKids))
+			useGeneric = true
 			for _, c := range adKids {
-				gps[c] = ec.h.PredContour(ec.mat[c], &ec.rst)
+				ec.gps[c] = ec.h.PredContour(ec.mat[c], &ec.rst)
 			}
 		}
 
@@ -63,13 +64,13 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 		buckets := ec.buckets(ec.mat[u], false)
 		inherit := ec.ch != nil
 		keep := ec.mat[u][:0]
-		val := make(map[int]bool, len(n.Children))
+		val := ec.valBuf
 		for _, bucket := range buckets {
-			for k := range val {
-				delete(val, k)
+			for _, c := range n.Children {
+				val[c] = false
 			}
 			var walker reach.ChainWalker
-			if cps != nil {
+			if useChain {
 				walker = ec.ch.NewOutWalker(&ec.rst)
 			}
 			for _, v := range bucket {
@@ -81,7 +82,7 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 				for _, c := range pcKids {
 					val[c] = false
 					for _, w := range ec.g.Out(v) {
-						if ec.matSet[c][w] {
+						if ec.matSet[c].Has(w) {
 							val[c] = true
 							break
 						}
@@ -104,16 +105,16 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 							}
 						}
 					}
-				case cps != nil:
+				case useChain:
 					// Chain path: own-position check, one shared suffix
 					// walk for all undecided children, ambiguity fallback.
-					var ambiguous []int
+					ambiguous := ec.ambiguous[:0]
 					pending := 0
 					for _, c := range adKids {
 						if val[c] {
 							continue
 						}
-						hit, amb := ec.ch.CheckOwn(v, cps[c])
+						hit, amb := ec.ch.CheckOwn(v, ec.cps[c])
 						if hit {
 							val[c] = true
 							continue
@@ -123,25 +124,26 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 						}
 						pending++
 					}
+					ec.ambiguous = ambiguous
 					if pending > 0 {
 						walker.Walk(v, func(cid, sid int32) {
 							for _, c := range adKids {
-								if !val[c] && cps[c].MatchPred(cid, sid) {
+								if !val[c] && ec.cps[c].MatchPred(cid, sid) {
 									val[c] = true
 								}
 							}
 						})
 					}
 					for _, c := range ambiguous {
-						if !val[c] && ec.ch.ResolveAmbiguous(v, cps[c], &ec.rst) {
+						if !val[c] && ec.ch.ResolveAmbiguous(v, ec.cps[c], &ec.rst) {
 							val[c] = true
 						}
 					}
-				default:
+				case useGeneric:
 					// Generic path: one holistic probe per (candidate,
 					// child contour).
 					for _, c := range adKids {
-						val[c] = gps[c].ReachedFrom(v, &ec.rst)
+						val[c] = ec.gps[c].ReachedFrom(v, &ec.rst)
 					}
 				}
 				if fext.Eval(func(c int) bool { return val[c] }) {
@@ -149,9 +151,9 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 				}
 			}
 		}
-		sortNodes(keep)
+		slices.Sort(keep)
 		ec.mat[u] = keep
-		ec.matSet[u] = toSet(keep)
+		ec.setMatSet(u, keep)
 	}
 }
 
@@ -168,8 +170,8 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 		if !prime[u] || len(ec.mat[u]) == 0 {
 			continue
 		}
-		var cs *reach.Contour       // chain successor contour of mat[u], lazy
-		var gcs reach.SuccContour   // generic successor contour, lazy
+		var cs *reach.Contour     // chain successor contour of mat[u], lazy
+		var gcs reach.SuccContour // generic successor contour, lazy
 		for _, c := range q.Nodes[u].Children {
 			if !prime[c] {
 				continue
@@ -182,14 +184,14 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					}
 					ec.stat.Input++
 					for _, w := range ec.g.In(v) {
-						if ec.matSet[u][w] {
+						if ec.matSet[u].Has(w) {
 							keep = append(keep, v)
 							break
 						}
 					}
 				}
 				ec.mat[c] = keep
-				ec.matSet[c] = toSet(keep)
+				ec.setMatSet(c, keep)
 				continue
 			}
 			if ec.opt.NoContours {
@@ -207,7 +209,7 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					}
 				}
 				ec.mat[c] = keep
-				ec.matSet[c] = toSet(keep)
+				ec.setMatSet(c, keep)
 				continue
 			}
 			if ec.ch == nil {
@@ -227,7 +229,7 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					}
 				}
 				ec.mat[c] = keep
-				ec.matSet[c] = toSet(keep)
+				ec.setMatSet(c, keep)
 				continue
 			}
 			if cs == nil {
@@ -265,9 +267,9 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					}
 				}
 			}
-			sortNodes(keep)
+			slices.Sort(keep)
 			ec.mat[c] = keep
-			ec.matSet[c] = toSet(keep)
+			ec.setMatSet(c, keep)
 		}
 	}
 }
@@ -290,48 +292,74 @@ func (ec *evalContext) primeSubtree(q *core.Query, outs []int) map[int]bool {
 	return prime
 }
 
+// chainPos caches one candidate's 3-hop chain position for bucket
+// sorting, so Position is asked once per node instead of O(log n)
+// times inside the comparator.
+type chainPos struct {
+	v        graph.NodeID
+	cid, sid int32
+}
+
 // buckets groups nodes for chain-shared pruning: per 3-hop chain,
 // sorted by sequence id (ascending or descending), when the index has
-// chain structure; one unsorted bucket otherwise.
+// chain structure; one unsorted bucket otherwise. The returned slices
+// live in reused context scratch and are valid until the next buckets
+// call.
 func (ec *evalContext) buckets(nodes []graph.NodeID, ascending bool) [][]graph.NodeID {
+	out := ec.bucketOut[:0]
 	if ec.ch == nil {
-		return [][]graph.NodeID{nodes}
+		out = append(out, nodes)
+		ec.bucketOut = out
+		return out
 	}
-	by := make(map[int32][]graph.NodeID)
+	ps := ec.bucketPos[:0]
 	for _, v := range nodes {
-		cid, _ := ec.ch.Position(v)
-		by[cid] = append(by[cid], v)
+		cid, sid := ec.ch.Position(v)
+		ps = append(ps, chainPos{v: v, cid: cid, sid: sid})
 	}
-	out := make([][]graph.NodeID, 0, len(by))
-	for _, bucket := range by {
-		b := bucket
-		sort.Slice(b, func(i, j int) bool {
-			_, si := ec.ch.Position(b[i])
-			_, sj := ec.ch.Position(b[j])
-			if si != sj {
-				if ascending {
-					return si < sj
-				}
-				return si > sj
+	ec.bucketPos = ps
+	slices.SortFunc(ps, func(a, b chainPos) int {
+		if a.cid != b.cid {
+			if a.cid < b.cid {
+				return -1
 			}
-			if ascending {
-				return b[i] < b[j]
+			return 1
+		}
+		x, y := a, b
+		if !ascending {
+			x, y = b, a
+		}
+		if x.sid != y.sid {
+			if x.sid < y.sid {
+				return -1
 			}
-			return b[i] > b[j]
-		})
-		out = append(out, b)
+			return 1
+		}
+		if x.v != y.v {
+			if x.v < y.v {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	buf := ec.bucketBuf[:0]
+	for i := 0; i < len(ps); {
+		j := i
+		start := len(buf)
+		for j < len(ps) && ps[j].cid == ps[i].cid {
+			buf = append(buf, ps[j].v)
+			j++
+		}
+		out = append(out, buf[start:len(buf):len(buf)])
+		i = j
 	}
+	ec.bucketBuf = buf
+	ec.bucketOut = out
 	return out
 }
 
-func toSet(xs []graph.NodeID) map[graph.NodeID]bool {
-	m := make(map[graph.NodeID]bool, len(xs))
-	for _, x := range xs {
-		m[x] = true
-	}
-	return m
-}
-
-func sortNodes(xs []graph.NodeID) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+// setMatSet rebuilds u's membership bitset from xs.
+func (ec *evalContext) setMatSet(u int, xs []graph.NodeID) {
+	ec.matSet[u].Fill(ec.g.N(), xs)
 }

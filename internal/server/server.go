@@ -14,6 +14,15 @@
 // MaxTimeout) that cancels the evaluation itself through the engine's
 // context-aware path — a stuck or oversized query stops consuming its
 // worker slot the moment its deadline passes.
+//
+// With CacheBytes set, a result cache (internal/qcache) sits in front
+// of the pool: repeated queries against an unchanged dataset are
+// answered from memory without taking a worker slot, concurrent
+// identical misses coalesce into one evaluation, and batch requests
+// deduplicate canonically-equal entries before evaluating. Cache keys
+// carry the catalog's hot-reload generation, so a reloaded dataset
+// can never serve stale answers; a context-cancelled evaluation never
+// populates the cache. Responses report per-query `cached`.
 package server
 
 import (
@@ -28,7 +37,10 @@ import (
 	"time"
 
 	"gtpq/internal/catalog"
+	"gtpq/internal/core"
 	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/qcache"
 	"gtpq/internal/qlang"
 )
 
@@ -48,6 +60,11 @@ type Config struct {
 	// MaxRows caps result rows returned per query; responses note
 	// truncation. 0 means unlimited.
 	MaxRows int
+	// CacheBytes bounds the result cache by the total bytes of cached
+	// answers; 0 disables caching. Full answers are cached (MaxRows
+	// truncation happens per response), keyed by (dataset, generation,
+	// canonical query, index kind).
+	CacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +91,7 @@ type Server struct {
 	cat   *catalog.Catalog
 	cfg   Config
 	sem   chan struct{} // worker slots
+	cache *qcache.Cache // nil when CacheBytes is 0
 	start time.Time
 
 	queued   atomic.Int64 // waiting + running admissions
@@ -88,13 +106,21 @@ type Server struct {
 // New builds a server over cat.
 func New(cat *catalog.Catalog, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cat:   cat,
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.Workers),
 		start: time.Now(),
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache = qcache.New(cfg.CacheBytes)
+	}
+	return s
 }
+
+// Cache exposes the result cache (nil when disabled); used by tests
+// and metrics exporters.
+func (s *Server) Cache() *qcache.Cache { return s.cache }
 
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -149,8 +175,12 @@ type queryResult struct {
 	Columns   []string         `json:"columns,omitempty"`
 	Rows      [][]graph.NodeID `json:"rows"`
 	Truncated bool             `json:"truncated,omitempty"`
-	Stats     *resultStats     `json:"stats,omitempty"`
-	Error     string           `json:"error,omitempty"`
+	// Cached reports the rows came without a fresh evaluation: a result
+	// cache hit, a coalesced in-flight miss, or a deduplicated batch
+	// entry sharing another entry's evaluation.
+	Cached bool         `json:"cached"`
+	Stats  *resultStats `json:"stats,omitempty"`
+	Error  string       `json:"error,omitempty"`
 }
 
 type resultStats struct {
@@ -160,7 +190,6 @@ type resultStats struct {
 	Results      int64   `json:"results"`
 	EvalMillis   float64 `json:"eval_ms"`
 }
-
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
@@ -205,15 +234,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sources = []string{req.Query}
 	}
 	results := make([]queryResult, len(sources))
-	var wg sync.WaitGroup
+
+	// Parse and canonicalize up front, deduplicating canonically-equal
+	// batch entries: N identical entries cost one evaluation (the rest
+	// copy the leader's result). Misses on distinct entries still fan
+	// out concurrently through the pool.
+	type job struct {
+		idx   int
+		q     *core.Query
+		canon string
+	}
+	var jobs []job
+	leaders := map[string]int{} // canonical text -> leader index
+	dups := map[int]int{}       // follower index -> leader index
 	for i, src := range sources {
+		s.queries.Add(1)
+		q, err := qlang.Parse(src)
+		if err != nil {
+			s.failures.Add(1)
+			results[i] = queryResult{Error: err.Error()}
+			continue
+		}
+		canon := qlang.Format(q)
+		if li, ok := leaders[canon]; ok {
+			dups[i] = li
+			continue
+		}
+		leaders[canon] = i
+		jobs = append(jobs, job{idx: i, q: q, canon: canon})
+	}
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
 		wg.Add(1)
-		go func(i int, src string) {
+		go func(j job) {
 			defer wg.Done()
-			results[i] = s.evalOne(ctx, ds.Engine, src)
-		}(i, src)
+			results[j.idx] = s.evalOne(ctx, ds, j.q, j.canon)
+		}(j)
 	}
 	wg.Wait()
+	for follower, leader := range dups {
+		r := results[leader]
+		if r.Error == "" {
+			r.Cached = true // shared the leader's evaluation
+		}
+		results[follower] = r
+	}
 
 	if single {
 		status := http.StatusOK
@@ -232,33 +298,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}{req.Dataset, results})
 }
 
-// evalOne parses and evaluates one query through the worker pool,
-// mapping every failure to the result's Error field. eng is either a
-// single-graph engine or a sharded scatter-gather engine — the
-// evaluation path is identical.
-func (s *Server) evalOne(ctx context.Context, eng catalog.Engine, src string) queryResult {
-	s.queries.Add(1)
-	q, err := qlang.Parse(src)
-	if err != nil {
-		s.failures.Add(1)
-		return queryResult{Error: err.Error()}
+// evalOne answers one parsed query, consulting the result cache before
+// the worker pool: hits (and misses coalesced onto an in-flight
+// evaluation) bypass admission entirely and never consume a slot. The
+// dataset's engine is either single-graph or sharded scatter-gather —
+// for sharded datasets the cached value is the merged answer, so a hit
+// skips the whole fan-out. Every failure maps to the result's Error
+// field; a failed (e.g. deadline-cancelled) evaluation is never
+// cached.
+func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string) queryResult {
+	start := time.Now()
+	// One admission+evaluation path whether or not the cache is on; the
+	// cache merely decides how often it runs.
+	var st gtea.Stats
+	compute := func() (*core.Answer, error) {
+		if err := s.admit(ctx); err != nil {
+			return nil, err
+		}
+		defer s.done()
+		a, stats, err := ds.Engine.EvalStatsCtx(ctx, q)
+		st = stats
+		return a, err
 	}
-	if err := s.admit(ctx); err != nil {
+
+	var ans *core.Answer
+	var err error
+	cached := false
+	if s.cache == nil {
+		ans, err = compute()
+	} else {
+		key := qcache.Key{
+			Dataset:    ds.Name,
+			Generation: ds.Generation,
+			Query:      canon,
+			Index:      ds.Engine.IndexKind(),
+		}
+		var src qcache.Source
+		ans, src, err = s.cache.Do(ctx, key, compute)
+		cached = src != qcache.Computed
+	}
+	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.timeouts.Add(1)
 		}
 		return queryResult{Error: err.Error()}
 	}
-	defer s.done()
-
-	start := time.Now()
-	ans, st, err := eng.EvalStatsCtx(ctx, q)
-	if err != nil {
-		s.timeouts.Add(1)
-		return queryResult{Error: err.Error()}
+	if cached {
+		// Hit or coalesced: no evaluation ran for this caller; report
+		// the result size and how long the cache path took.
+		st = gtea.Stats{Results: int64(len(ans.Tuples))}
 	}
+	return s.buildResult(q, ans, st, start, cached)
+}
+
+// buildResult renders an answer into the response shape, applying the
+// row cap per response — cached answers stay whole and are never
+// mutated, only sliced.
+func (s *Server) buildResult(q *core.Query, ans *core.Answer, st gtea.Stats, start time.Time, cached bool) queryResult {
 	res := queryResult{
-		Rows: ans.Tuples,
+		Rows:   ans.Tuples,
+		Cached: cached,
 		Stats: &resultStats{
 			Input:        st.Input,
 			IndexLookups: st.Index,
@@ -271,7 +370,7 @@ func (s *Server) evalOne(ctx context.Context, eng catalog.Engine, src string) qu
 		res.Columns = append(res.Columns, q.Nodes[u].Name)
 	}
 	if s.cfg.MaxRows > 0 && len(res.Rows) > s.cfg.MaxRows {
-		res.Rows = res.Rows[:s.cfg.MaxRows]
+		res.Rows = res.Rows[:s.cfg.MaxRows:s.cfg.MaxRows]
 		res.Truncated = true
 	}
 	if res.Rows == nil {
@@ -293,8 +392,33 @@ func errorStatus(msg string) int {
 	}
 }
 
-func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+// datasetInfo decorates a catalog listing entry with the dataset's
+// slice of the result-cache counters.
+type datasetInfo struct {
+	catalog.Info
+	Cache *qcache.DatasetStats `json:"cache,omitempty"`
+}
+
+// datasetInfos lists the catalog merged with per-dataset cache stats.
+func (s *Server) datasetInfos() ([]datasetInfo, error) {
 	infos, err := s.cat.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]datasetInfo, len(infos))
+	for i, info := range infos {
+		out[i] = datasetInfo{Info: info}
+		if s.cache != nil {
+			if cs, ok := s.cache.DatasetStats(info.Name); ok {
+				out[i].Cache = &cs
+			}
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	infos, err := s.datasetInfos()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -339,14 +463,27 @@ func (s *Server) snapshotCounters() poolSnapshot {
 	return snap
 }
 
+// cacheReport is the /stats cache section: the qcache counters plus
+// an explicit enabled flag (the counters alone cannot distinguish
+// "disabled" from "no traffic yet").
+type cacheReport struct {
+	Enabled bool `json:"enabled"`
+	qcache.Stats
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snapshotCounters()
-	infos, _ := s.cat.List()
+	infos, _ := s.datasetInfos()
 	shardedDatasets := 0
 	for _, info := range infos {
 		if info.Shards > 0 {
 			shardedDatasets++
 		}
+	}
+	cr := cacheReport{}
+	if s.cache != nil {
+		cr.Enabled = true
+		cr.Stats = s.cache.Stats()
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_s": time.Since(s.start).Seconds(),
@@ -355,6 +492,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"queue_depth":        s.cfg.QueueDepth,
 			"default_timeout_ms": s.cfg.DefaultTimeout.Milliseconds(),
 			"max_timeout_ms":     s.cfg.MaxTimeout.Milliseconds(),
+			"cache_bytes":        s.cfg.CacheBytes,
 		},
 		"requests":         snap.Requests,
 		"queries":          snap.Queries,
@@ -363,6 +501,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"failures":         snap.Failures,
 		"rows_returned":    snap.Rows,
 		"in_flight":        snap.InFlight,
+		"cache":            cr,
 		"sharded_datasets": shardedDatasets,
 		"datasets":         infos,
 	})
