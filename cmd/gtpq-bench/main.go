@@ -11,7 +11,9 @@
 // -json writes the regression-trackable measurements (index build
 // times, per-query ns/op, stats counters, concurrency throughput) as
 // one JSON document for BENCH_*.json trajectory files; CI runs it as a
-// smoke test and archives the output.
+// smoke test and archives the output. -check compares the same records
+// against a committed baseline (bench-baseline.json) and fails beyond
+// -tolerance — the CI benchmark regression gate.
 package main
 
 import (
@@ -28,12 +30,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gtpq-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,ix,conc,shard,cache,all (or none)")
-		persons  = flag.Int("persons", 600, "XMark persons per scale unit")
-		queries  = flag.Int("queries", 5, "query instances averaged per data point")
-		perSize  = flag.Int("persize", 5, "arXiv queries kept per size and result group")
-		seed     = flag.Int64("seed", 17, "workload seed")
-		jsonPath = flag.String("json", "", "write machine-readable records to this file ('-' for stdout)")
+		exp       = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,ix,conc,shard,cache,delta,all (or none)")
+		persons   = flag.Int("persons", 600, "XMark persons per scale unit")
+		queries   = flag.Int("queries", 5, "query instances averaged per data point")
+		perSize   = flag.Int("persize", 5, "arXiv queries kept per size and result group")
+		seed      = flag.Int64("seed", 17, "workload seed")
+		jsonPath  = flag.String("json", "", "write machine-readable records to this file ('-' for stdout)")
+		checkPath = flag.String("check", "", "compare this run's records against a baseline JSON file and exit non-zero on latency regressions (the CI gate)")
+		tolerance = flag.Float64("tolerance", 0.5, "allowed latency regression for -check (0.5 = fail beyond +50%)")
 	)
 	flag.Parse()
 
@@ -64,6 +68,7 @@ func main() {
 		"conc":     r.Concurrency,
 		"shard":    r.Sharding,
 		"cache":    r.ResultCache,
+		"delta":    r.Delta,
 		"all":      r.All,
 	}
 	for _, name := range strings.Split(*exp, ",") {
@@ -86,14 +91,28 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
 			out = f
 		}
 		if err := r.WriteJSON(out); err != nil {
 			log.Fatal(err)
 		}
 		if *jsonPath != "-" {
+			if err := out.Close(); err != nil {
+				log.Fatal(err)
+			}
 			log.Printf("wrote %s", *jsonPath)
+		}
+	}
+
+	if *checkPath != "" {
+		// The records are memoized, so the gate compares exactly what
+		// -json wrote (or runs the suite now if it didn't).
+		ok, err := r.CheckFile(*checkPath, *tolerance, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			log.Fatal("benchmark regression gate failed")
 		}
 	}
 }

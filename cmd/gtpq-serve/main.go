@@ -9,6 +9,7 @@
 //	gtpq-serve -data ./datasets -snapshots -preload citations
 //	gtpq-serve -data ./datasets -index tc -parallel
 //	gtpq-serve -data ./datasets -cache-bytes 268435456  # 256 MiB result cache
+//	gtpq-serve -data ./datasets -compact-after 1000     # auto-fold delta logs
 //
 // Datasets are `<name>.json` / `<name>.json.gz` graph files (the
 // graphio format), `<name>.snap` index snapshots (loaded without
@@ -25,9 +26,17 @@
 //
 //	POST /query     {"dataset":"d","query":"node x label=a output","timeout_ms":100}
 //	POST /query     {"dataset":"d","queries":["...","..."]}
+//	POST /update    {"dataset":"d","nodes":[{"label":"a"}],"edges":[{"from":0,"to":9}]}
 //	GET  /datasets
 //	GET  /stats
 //	GET  /healthz
+//
+// Datasets are live-mutable: POST /update appends vertices and edges,
+// durably (fsynced delta log replayed on restart) and served
+// immediately through a reachability overlay while the expensive base
+// index stays frozen; -compact-after bounds the overlay by folding the
+// log into a fresh snapshot (or re-sharded directory) once enough
+// mutations accumulate. See internal/delta.
 package main
 
 import (
@@ -63,6 +72,7 @@ func main() {
 		maxTime   = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
 		maxRows   = flag.Int("max-rows", 10000, "max result rows returned per query (0: unlimited)")
 		cacheB    = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (0: disable caching)")
+		compactN  = flag.Int("compact-after", 0, "fold a dataset's delta log into a fresh snapshot once this many mutations are pending (0: never auto-compact)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -119,6 +129,7 @@ func main() {
 		MaxTimeout:     *maxTime,
 		MaxRows:        *maxRows,
 		CacheBytes:     *cacheB,
+		CompactAfter:   *compactN,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
@@ -126,17 +137,29 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let
-	// in-flight evaluations run out their deadlines.
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting new
+	// connections, drain every admitted evaluation and update within
+	// the deadline, then flush the delta logs — an acknowledged /update
+	// must never be lost to a restart.
 	done := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("shutting down")
+		log.Print("shutting down: draining in-flight work")
 		ctx, cancel := context.WithTimeout(context.Background(), *maxTime)
 		defer cancel()
-		hs.Shutdown(ctx)
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := cat.Close(); err != nil {
+			log.Printf("shutdown: flushing delta logs: %v", err)
+		} else {
+			log.Print("shutdown: delta logs flushed")
+		}
 		close(done)
 	}()
 

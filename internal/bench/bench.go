@@ -78,6 +78,8 @@ type Runner struct {
 
 	shardGraph   *graph.Graph
 	shardEngines map[int]*shard.ShardedEngine
+
+	jsonRecords []Record // memoized machine-readable suite
 }
 
 // NewRunner builds a runner writing reports to w.

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// nsDur converts record nanoseconds for display.
+func nsDur(ns int64) time.Duration { return time.Duration(ns) }
+
+// The benchmark regression gate: CI commits a bench-baseline.json
+// (one -json run on the reference configuration) and every build's
+// fresh records are compared against it; a latency regression beyond
+// the tolerance fails the build. The gate watches the stable
+// millisecond-scale latency records — the per-backend "eval" workloads
+// (threehop and tc) and the "shard" sweep (scan/pair/neg per K) —
+// where a 50% regression is signal, not scheduler noise; sub-µs
+// records (cache hits) and throughput counters are reported in the
+// JSON but not gated.
+
+// gatedExperiments are the record kinds the regression gate compares.
+var gatedExperiments = map[string]bool{"eval": true, "shard": true}
+
+// A record must additionally clear an absolute noise floor to count
+// as a regression: sub-millisecond records swing several-fold on a
+// noisy CI runner without any code change, so the relative tolerance
+// alone would flake. The floor is min(2ms, 20×baseline): for the
+// millisecond-scale records (pair enumerations) any >50% regression
+// clears 2ms trivially, while microsecond-scale records (the
+// per-backend eval queries at CI sizes) stay gated against
+// order-of-magnitude regressions instead of being exempted outright.
+const (
+	maxFloorNs     = 2_000_000
+	floorBaseScale = 20
+)
+
+// regressionFloor returns the absolute excess a record with the given
+// baseline must show.
+func regressionFloor(baseNs int64) int64 {
+	if f := floorBaseScale * baseNs; f < maxFloorNs {
+		return f
+	}
+	return maxFloorNs
+}
+
+// checkKey identifies comparable measurements across runs.
+type checkKey struct {
+	Experiment string
+	Kind       string
+	Query      string
+	Scale      float64
+	Shards     int
+	CacheMode  string
+	Pending    int
+}
+
+func keyOf(r Record) checkKey {
+	return checkKey{
+		Experiment: r.Experiment,
+		Kind:       r.Kind,
+		Query:      r.Query,
+		Scale:      r.Scale,
+		Shards:     r.Shards,
+		CacheMode:  r.CacheMode,
+		Pending:    r.PendingDeltas,
+	}
+}
+
+func (k checkKey) String() string {
+	s := k.Experiment
+	if k.Kind != "" {
+		s += "/" + k.Kind
+	}
+	if k.Query != "" {
+		s += "/" + k.Query
+	}
+	if k.Shards > 0 {
+		s += fmt.Sprintf("/K=%d", k.Shards)
+	}
+	if k.CacheMode != "" {
+		s += "/cache=" + k.CacheMode
+	}
+	if k.Pending > 0 {
+		s += fmt.Sprintf("/pending=%d", k.Pending)
+	}
+	return s
+}
+
+// CheckResult is one gated comparison.
+type CheckResult struct {
+	Key        string
+	BaseNs     int64
+	CurrentNs  int64
+	Ratio      float64
+	Regression bool
+}
+
+// Check compares current latency records against a baseline set:
+// tolerance 0.5 fails any gated record more than 50% slower than its
+// baseline. Gated records missing from the baseline (new experiments)
+// are skipped; baseline records missing from the current run are
+// regressions in coverage and fail too. Returns every comparison
+// (sorted, regressions first) and whether the gate passes.
+func Check(current, baseline []Record, tolerance float64) ([]CheckResult, bool) {
+	base := map[checkKey]int64{}
+	for _, r := range baseline {
+		if gatedExperiments[r.Experiment] && r.NsPerOp > 0 {
+			base[keyOf(r)] = r.NsPerOp
+		}
+	}
+	var results []CheckResult
+	ok := true
+	seen := map[checkKey]bool{}
+	for _, r := range current {
+		if !gatedExperiments[r.Experiment] || r.NsPerOp <= 0 {
+			continue
+		}
+		k := keyOf(r)
+		seen[k] = true
+		want, inBase := base[k]
+		if !inBase {
+			continue // new measurement: nothing to gate against yet
+		}
+		ratio := float64(r.NsPerOp) / float64(want)
+		res := CheckResult{
+			Key:        k.String(),
+			BaseNs:     want,
+			CurrentNs:  r.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > 1+tolerance && r.NsPerOp-want > regressionFloor(want),
+		}
+		if res.Regression {
+			ok = false
+		}
+		results = append(results, res)
+	}
+	for k := range base {
+		if !seen[k] {
+			results = append(results, CheckResult{Key: k.String() + " (missing from current run)", BaseNs: base[k], Regression: true})
+			ok = false
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Regression != results[j].Regression {
+			return results[i].Regression
+		}
+		return results[i].Key < results[j].Key
+	})
+	return results, ok
+}
+
+// CheckFile runs the gate against a baseline JSON file (the shape
+// WriteJSON emits) and reports to w. Returns false when the gate
+// fails.
+func (r *Runner) CheckFile(path string, tolerance float64, w io.Writer) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var doc jsonReport
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return false, fmt.Errorf("%s: %v", path, err)
+	}
+	results, ok := Check(r.JSONRecords(), doc.Records, tolerance)
+	regressions := 0
+	for _, res := range results {
+		if res.Regression {
+			regressions++
+			fmt.Fprintf(w, "REGRESSION %-40s baseline %12s  now %12s  (%.2fx, tolerance %.2fx)\n",
+				res.Key, fmtDur(nsDur(res.BaseNs)), fmtDur(nsDur(res.CurrentNs)), res.Ratio, 1+tolerance)
+		}
+	}
+	fmt.Fprintf(w, "bench gate: %d records compared against %s, %d regression(s) beyond %.0f%%\n",
+		len(results)-regressions, path, regressions, tolerance*100)
+	return ok, nil
+}

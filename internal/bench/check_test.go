@@ -1,0 +1,65 @@
+package bench
+
+import "testing"
+
+// TestCheckGate pins the regression-gate semantics: pass within
+// tolerance, fail beyond it (when past the absolute noise floor),
+// ignore ungated experiments and sub-floor noise, and flag baseline
+// records that vanished from the current run.
+func TestCheckGate(t *testing.T) {
+	ms := int64(1_000_000)
+	base := []Record{
+		{Experiment: "eval", Kind: "tc", Query: "Q1", NsPerOp: 20 * ms},
+		{Experiment: "shard", Kind: "threehop", Query: "pair", Shards: 4, NsPerOp: 40 * ms},
+		{Experiment: "eval", Kind: "threehop", Query: "Q2", NsPerOp: ms / 10}, // noise-scale
+		{Experiment: "cache", Kind: "threehop", Query: "zipf", NsPerOp: 100},  // ungated
+	}
+
+	// Within tolerance: +40% on a gated record passes.
+	cur := []Record{
+		{Experiment: "eval", Kind: "tc", Query: "Q1", NsPerOp: 28 * ms},
+		{Experiment: "shard", Kind: "threehop", Query: "pair", Shards: 4, NsPerOp: 40 * ms},
+		{Experiment: "eval", Kind: "threehop", Query: "Q2", NsPerOp: ms / 2}, // 5x but sub-floor
+		{Experiment: "cache", Kind: "threehop", Query: "zipf", NsPerOp: 10000},
+	}
+	if results, ok := Check(cur, base, 0.5); !ok {
+		t.Fatalf("within-tolerance run failed the gate: %+v", results)
+	}
+
+	// Beyond tolerance and the floor: fails, and the offender is named.
+	cur[0].NsPerOp = 31 * ms
+	results, ok := Check(cur, base, 0.5)
+	if ok {
+		t.Fatal("+55% regression passed the gate")
+	}
+	found := false
+	for _, res := range results {
+		if res.Regression && res.Key == "eval/tc/Q1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regression list misses eval/tc/Q1: %+v", results)
+	}
+
+	// A microsecond-scale record is still gated against
+	// order-of-magnitude regressions: 100µs -> 3.1ms clears the
+	// 20×baseline floor.
+	cur[2].NsPerOp = 31 * ms / 10
+	if _, ok := Check(cur, base, 0.5); ok {
+		t.Fatal("31x regression on a µs-scale record passed the gate")
+	}
+	cur[2].NsPerOp = ms / 2 // back under its floor
+
+	// A gated baseline record missing from the current run fails too.
+	cur[0].NsPerOp = 20 * ms
+	if _, ok := Check(cur[1:], base, 0.5); ok {
+		t.Fatal("missing gated record passed the gate")
+	}
+
+	// New current records with no baseline are skipped, not failed.
+	cur = append(cur, Record{Experiment: "eval", Kind: "tc", Query: "Q9", NsPerOp: 500 * ms})
+	if _, ok := Check(cur, base, 0.5); !ok {
+		t.Fatal("new unbaselined record failed the gate")
+	}
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gtpq/internal/delta"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/reach"
+)
+
+// deltaPendings is the pending-mutation ladder: how many delta edges
+// sit in the overlay when the workload runs. 0 is the frozen-base
+// baseline; the top rung is where compaction should long have kicked
+// in — the experiment shows the cliff it saves.
+var deltaPendings = []int{0, 16, 64, 256}
+
+// deltaRounds is how many times each query is averaged per rung.
+const deltaRounds = 2
+
+// deltaBatchSize groups delta edges into batches of this size (the
+// shape /update traffic produces).
+const deltaBatchSize = 16
+
+// deltaBatches builds the pending ladder's mutation stream over the
+// bench graph: mostly new edges between existing vertices, plus a
+// sprinkle of new vertices that immediately get wired in.
+func deltaBatches(r *rand.Rand, n, edges int) []delta.Batch {
+	var batches []delta.Batch
+	total := n
+	for edges > 0 {
+		var b delta.Batch
+		if r.Intn(3) == 0 {
+			b.Nodes = append(b.Nodes, delta.NodeAdd{Label: shardLabels[r.Intn(len(shardLabels))]})
+		}
+		limit := total + len(b.Nodes)
+		take := deltaBatchSize
+		if take > edges {
+			take = edges
+		}
+		for i := 0; i < take; i++ {
+			b.Edges = append(b.Edges, delta.EdgeAdd{
+				From: graph.NodeID(r.Intn(limit)),
+				To:   graph.NodeID(r.Intn(limit)),
+			})
+		}
+		total = limit
+		edges -= take
+		batches = append(batches, b)
+	}
+	return batches
+}
+
+// deltaEngineAt returns the overlay engine serving the base plus the
+// first `pending` delta edges, and the extended graph it runs on.
+func (r *Runner) deltaEngineAt(base *gtea.Engine, batches []delta.Batch, pending int) *gtea.Engine {
+	if pending == 0 {
+		return base
+	}
+	var take []delta.Batch
+	got := 0
+	for _, b := range batches {
+		if got >= pending {
+			break
+		}
+		take = append(take, b)
+		got += len(b.Edges)
+	}
+	ext, err := delta.Extend(base.G, take)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	ov := delta.NewOverlay(base.H, base.G.N(), ext.N(), take)
+	return gtea.NewWithIndex(ext, ov)
+}
+
+// Delta prints the live-update experiment: per workload query, average
+// evaluation latency at each pending-delta rung, then the compaction
+// cliff — the one-off cost of folding the top rung into a fresh index
+// and the latency after it. Result counts are cross-checked against a
+// from-scratch rebuild at every rung (the equivalence property the
+// delta test suite proves under -race).
+func (r *Runner) Delta() {
+	g := r.ShardGraph()
+	base := r.GTEA(g)
+	qs := shardQueries()
+	maxPending := deltaPendings[len(deltaPendings)-1]
+	batches := deltaBatches(rand.New(rand.NewSource(r.Cfg.Seed+3)), g.N(), maxPending)
+
+	r.printf("== Live updates: query latency vs pending deltas, %d nodes / %d edges, %s base ==\n",
+		g.N(), g.M(), base.IndexKind())
+	r.printf("%-8s", "query")
+	for _, p := range deltaPendings {
+		r.printf(" %12s", fmt.Sprintf("Δ=%d", p))
+	}
+	r.printf(" %12s\n", "compacted")
+
+	// The compaction cliff: fold the full ladder into a fresh base.
+	topBatches := batches
+	ext, err := delta.Extend(g, topBatches)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	var compacted reach.ContourIndex
+	compactT := timeIt(func() {
+		var cerr error
+		compacted, cerr = reach.Build(base.IndexKind(), ext, reach.BuildOptions{})
+		if cerr != nil {
+			panic("bench: " + cerr.Error())
+		}
+	})
+	compactedEng := gtea.NewWithIndex(ext, compacted)
+
+	for qi, q := range qs {
+		r.printf("%-8s", shardWorkload[qi].name)
+		for _, p := range deltaPendings {
+			eng := r.deltaEngineAt(base, batches, p)
+			eng.Eval(q) // warm up
+			var total time.Duration
+			var results int
+			for round := 0; round < deltaRounds; round++ {
+				total += timeIt(func() { results = eng.Eval(q).Len() })
+			}
+			if p == maxPending {
+				if want := compactedEng.Eval(q).Len(); want != results {
+					panic(fmt.Sprintf("bench: delta answers diverged at Δ=%d: %d vs %d", p, results, want))
+				}
+			}
+			r.printf(" %12s", fmtDur(total/deltaRounds))
+		}
+		var total time.Duration
+		compactedEng.Eval(q)
+		for round := 0; round < deltaRounds; round++ {
+			total += timeIt(func() { compactedEng.Eval(q).Len() })
+		}
+		r.printf(" %12s\n", fmtDur(total/deltaRounds))
+	}
+	r.printf("compaction (index rebuild over %d nodes): %s\n", ext.N(), fmtDur(compactT))
+}
+
+// deltaRecords emits the machine-readable delta experiment: one record
+// per (query, pending) rung, a post-compaction eval record per query,
+// and one delta-compact record carrying the rebuild cost. CI archives
+// these alongside the rest of the -json output.
+func (r *Runner) deltaRecords() []Record {
+	g := r.ShardGraph()
+	base := r.GTEA(g)
+	qs := shardQueries()
+	maxPending := deltaPendings[len(deltaPendings)-1]
+	batches := deltaBatches(rand.New(rand.NewSource(r.Cfg.Seed+3)), g.N(), maxPending)
+
+	var recs []Record
+	for _, p := range deltaPendings {
+		eng := r.deltaEngineAt(base, batches, p)
+		for qi, q := range qs {
+			eng.Eval(q) // warm up
+			var total time.Duration
+			var results int
+			for round := 0; round < deltaRounds; round++ {
+				total += timeIt(func() { results = eng.Eval(q).Len() })
+			}
+			recs = append(recs, Record{
+				Experiment:    "delta",
+				Kind:          eng.IndexKind(),
+				Query:         shardWorkload[qi].name,
+				Nodes:         eng.G.N(),
+				Edges:         eng.G.M(),
+				PendingDeltas: p,
+				NsPerOp:       (total / deltaRounds).Nanoseconds(),
+				Results:       int64(results),
+			})
+		}
+	}
+
+	ext, err := delta.Extend(g, batches)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	var compacted reach.ContourIndex
+	compactT := timeIt(func() {
+		var cerr error
+		compacted, cerr = reach.Build(base.IndexKind(), ext, reach.BuildOptions{})
+		if cerr != nil {
+			panic("bench: " + cerr.Error())
+		}
+	})
+	recs = append(recs, Record{
+		Experiment:    "delta-compact",
+		Kind:          base.IndexKind(),
+		Nodes:         ext.N(),
+		Edges:         ext.M(),
+		PendingDeltas: maxPending,
+		BuildNs:       compactT.Nanoseconds(),
+		IndexSize:     compacted.IndexSize(),
+	})
+	eng := gtea.NewWithIndex(ext, compacted)
+	for qi, q := range qs {
+		eng.Eval(q) // warm up
+		var total time.Duration
+		var results int
+		for round := 0; round < deltaRounds; round++ {
+			total += timeIt(func() { results = eng.Eval(q).Len() })
+		}
+		recs = append(recs, Record{
+			Experiment: "delta-compact",
+			Kind:       eng.IndexKind(),
+			Query:      shardWorkload[qi].name,
+			Nodes:      ext.N(),
+			Edges:      ext.M(),
+			NsPerOp:    (total / deltaRounds).Nanoseconds(),
+			Results:    int64(results),
+		})
+	}
+	return recs
+}

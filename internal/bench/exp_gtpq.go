@@ -220,4 +220,6 @@ func (r *Runner) All() {
 	r.Sharding()
 	r.printf("\n")
 	r.ResultCache()
+	r.printf("\n")
+	r.Delta()
 }

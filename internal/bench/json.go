@@ -55,6 +55,11 @@ type Record struct {
 	CacheBytes int64   `json:"cache_bytes,omitempty"`
 	HitNs      int64   `json:"hit_ns,omitempty"`
 	MissNs     int64   `json:"miss_ns,omitempty"`
+
+	// Delta experiment field: how many delta edges the overlay carried
+	// when the measurement ran ("delta" eval rungs and the
+	// "delta-compact" fold record).
+	PendingDeltas int `json:"pending_deltas,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -67,8 +72,13 @@ type jsonReport struct {
 // backend on the smallest XMark scale, an index-build record and one
 // eval record per workload query (averaged ns/op plus the stats
 // counters of the last run); plus the shared-engine concurrency
-// ladder.
+// ladder, the shard/cache sweeps, and the delta ladder. The suite is
+// memoized — the regression gate (-check) compares the same records
+// that -json writes.
 func (r *Runner) JSONRecords() []Record {
+	if r.jsonRecords != nil {
+		return r.jsonRecords
+	}
 	scale := r.Cfg.Scales[0]
 	g, _ := r.XMark(scale)
 	workloads := []struct {
@@ -141,6 +151,9 @@ func (r *Runner) JSONRecords() []Record {
 	recs = append(recs, r.shardRecords()...)
 	// Result-cache Zipf sweeps (cache on/off per shard count).
 	recs = append(recs, r.cacheRecords()...)
+	// Live-update overlay ladder + compaction cliff.
+	recs = append(recs, r.deltaRecords()...)
+	r.jsonRecords = recs
 	return recs
 }
 

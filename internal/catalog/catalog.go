@@ -22,6 +22,7 @@ package catalog
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,9 +32,11 @@ import (
 	"time"
 
 	"gtpq/internal/core"
+	"gtpq/internal/delta"
 	"gtpq/internal/graph"
 	"gtpq/internal/graphio"
 	"gtpq/internal/gtea"
+	"gtpq/internal/reach"
 	"gtpq/internal/shard"
 	"gtpq/internal/snapshot"
 )
@@ -82,10 +85,16 @@ type Dataset struct {
 	FromSnapshot bool
 	// Generation identifies this load of the dataset: it is unique per
 	// catalog entry and strictly increases every time any dataset is
-	// (re)loaded, so a hot reload or re-shard always changes it. Result
-	// caches key on it — entries of an old generation can never serve a
-	// new one.
+	// (re)loaded, so a hot reload, re-shard, or applied delta always
+	// changes it. Result caches key on it — entries of an old
+	// generation can never serve a new one.
 	Generation uint64
+	// PendingDeltas counts the mutations (vertex + edge adds) applied
+	// on top of the frozen base since its last snapshot/compaction;
+	// DeltaBatches the update batches they arrived in. Both are zero
+	// for a fully-compacted dataset.
+	PendingDeltas int
+	DeltaBatches  int
 	// LoadTime is how long the build or revive took.
 	LoadTime time.Duration
 
@@ -151,6 +160,14 @@ type Info struct {
 	Shards    int         `json:"shards,omitempty"`
 	ShardMode string      `json:"shard_mode,omitempty"`
 	ShardInfo []ShardInfo `json:"shard_info,omitempty"`
+	// PendingDeltas / DeltaBatches mirror Dataset's delta counters;
+	// Compactions counts folds of the delta log into a fresh base this
+	// process performed, and DeltaReplayMillis is the time the load
+	// spent replaying the delta log.
+	PendingDeltas     int   `json:"pending_deltas,omitempty"`
+	DeltaBatches      int   `json:"delta_batches,omitempty"`
+	Compactions       int64 `json:"compactions,omitempty"`
+	DeltaReplayMillis int64 `json:"delta_replay_ms,omitempty"`
 }
 
 // Catalog serves datasets out of one directory.
@@ -161,6 +178,8 @@ type Catalog struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	nextGen uint64 // generation counter; ++ per entry created (under mu)
+	dlogs   map[string]*dlog
+	closed  bool
 }
 
 // entry is the cached (or in-flight) load of one dataset generation.
@@ -179,6 +198,25 @@ type entry struct {
 	// loaded from; a differing mtime on Acquire marks the entry stale.
 	srcPath string
 	srcMod  time.Time
+
+	// Delta state (see delta.go). dbase is the frozen pre-delta graph
+	// and its reachability index — what ApplyDelta extends and Compact
+	// folds into; nil for a sharded dataset until the first delta needs
+	// it (the union graph + composite index are then materialized).
+	// batches are the pending mutations, replayed from the log at load
+	// or appended in memory by ApplyDelta; se is the scatter-gather
+	// engine of a sharded base (nil for flat).
+	dbase     *deltaBase
+	se        *shard.ShardedEngine
+	batches   []delta.Batch
+	replay    time.Duration
+	buildKind string // backend kind a compaction rebuilds with
+}
+
+// deltaBase is the frozen foundation live updates extend.
+type deltaBase struct {
+	g *graph.Graph
+	h reach.ContourIndex
 }
 
 func (e *entry) release() {
@@ -197,11 +235,15 @@ func Open(dir string, opt Options) (*Catalog, error) {
 	if !st.IsDir() {
 		return nil, fmt.Errorf("catalog: %s is not a directory", dir)
 	}
-	return &Catalog{dir: dir, opt: opt, entries: map[string]*entry{}}, nil
+	return &Catalog{dir: dir, opt: opt, entries: map[string]*entry{}, dlogs: map[string]*dlog{}}, nil
 }
 
 // Dir returns the catalog's directory.
 func (c *Catalog) Dir() string { return c.dir }
+
+// ErrUnknownDataset reports a dataset name with no source on disk;
+// servers map it to 404 (errors.Is through Acquire's error).
+var ErrUnknownDataset = errors.New("unknown dataset")
 
 // suffixes are the recognized dataset file extensions, in resolution
 // preference order (snapshot first).
@@ -262,6 +304,18 @@ func (c *Catalog) resolve(name string) (path string, mod time.Time, kind loadKin
 		if st, err := os.Stat(mpath); err == nil {
 			return mpath, st.ModTime(), loadShard, nil
 		}
+		// Crash recovery for sharded compaction's directory swap: a
+		// crash between "rename live dir aside" and "rename folded dir
+		// in" leaves only the aside copy. Restore it — idempotent and
+		// race-tolerant (a concurrent restorer winning the rename just
+		// makes ours fail; the re-stat below settles it).
+		aside := filepath.Join(c.dir, "."+name+".precompact")
+		if _, err := os.Stat(filepath.Join(aside, shard.ManifestName)); err == nil {
+			os.Rename(aside, filepath.Join(c.dir, name))
+			if st, err := os.Stat(mpath); err == nil {
+				return mpath, st.ModTime(), loadShard, nil
+			}
+		}
 	}
 	var snapPath, rawPath string
 	var snapMod, rawMod time.Time
@@ -283,7 +337,7 @@ func (c *Catalog) resolve(name string) (path string, mod time.Time, kind loadKin
 	case rawPath != "":
 		return rawPath, rawMod, loadRaw, nil
 	default:
-		return "", time.Time{}, loadRaw, fmt.Errorf("catalog: unknown dataset %q", name)
+		return "", time.Time{}, loadRaw, fmt.Errorf("catalog: %w %q", ErrUnknownDataset, name)
 	}
 }
 
@@ -331,22 +385,31 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 		c.mu.Unlock()
 		return nil, e.err
 	}
-	// Hand out a per-acquire handle so Release is idempotent per
-	// caller while all handles share the engine.
+	return e.handle(), nil
+}
+
+// handle hands out a per-acquire view of the entry's dataset, so
+// Release is idempotent per caller while all handles share the
+// engine. The caller must already hold a reference (refs).
+func (e *entry) handle() *Dataset {
 	return &Dataset{
-		Name:         e.ds.Name,
-		Source:       e.ds.Source,
-		Graph:        e.ds.Graph,
-		Engine:       e.ds.Engine,
-		Sharded:      e.ds.Sharded,
-		FromSnapshot: e.ds.FromSnapshot,
-		Generation:   e.gen,
-		LoadTime:     e.ds.LoadTime,
-		entry:        e,
-	}, nil
+		Name:          e.ds.Name,
+		Source:        e.ds.Source,
+		Graph:         e.ds.Graph,
+		Engine:        e.ds.Engine,
+		Sharded:       e.ds.Sharded,
+		FromSnapshot:  e.ds.FromSnapshot,
+		Generation:    e.gen,
+		PendingDeltas: delta.Ops(e.batches),
+		DeltaBatches:  len(e.batches),
+		LoadTime:      e.ds.LoadTime,
+		entry:         e,
+	}
 }
 
 // load builds or revives the entry's engine; it runs once per entry.
+// After the base is up, any delta log next to it is replayed and the
+// pending batches are layered on as an overlay engine (see delta.go).
 func (e *entry) load(opt Options, kind loadKind) {
 	defer close(e.ready)
 	start := time.Now()
@@ -361,57 +424,78 @@ func (e *entry) load(opt Options, kind loadKind) {
 			e.err = fmt.Errorf("catalog: %s names dataset %q, directory says %q", e.srcPath, man.Name, e.name)
 			return
 		}
+		e.se = se
+		e.buildKind = man.Index
 		e.ds = &Dataset{
 			Name: e.name, Source: e.srcPath, Engine: se,
 			Sharded: true, FromSnapshot: true, LoadTime: time.Since(start),
 		}
-		return
 	case loadSnap:
 		g, h, err := snapshot.LoadFile(e.srcPath)
 		if err != nil {
 			e.err = err
 			return
 		}
+		e.dbase = &deltaBase{g: g, h: h}
+		e.buildKind = h.Kind()
 		e.ds = &Dataset{
 			Name: e.name, Source: e.srcPath, Graph: g,
 			Engine: gtea.NewWithIndex(g, h), FromSnapshot: true,
 			LoadTime: time.Since(start),
 		}
-		return
-	}
-	f, err := os.Open(e.srcPath)
-	if err != nil {
-		e.err = err
-		return
-	}
-	g, err := graphio.Load(f)
-	f.Close()
-	if err != nil {
-		e.err = fmt.Errorf("%s: %w", e.srcPath, err)
-		return
-	}
-	eng, err := gtea.NewWithOptions(g, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
-	if err != nil {
-		e.err = fmt.Errorf("%s: %w", e.srcPath, err)
-		return
-	}
-	e.ds = &Dataset{
-		Name: e.name, Source: e.srcPath, Graph: g, Engine: eng,
-		LoadTime: time.Since(start),
-	}
-	if opt.AutoSnapshot {
-		// Best effort; serving works without it. The snapshot is
-		// stamped no newer than the source so resolve keeps preferring
-		// fresher raw files, and the entry's identity moves to the
-		// snapshot — resolve will return it from now on, and without
-		// this the next Acquire would mistake the path change for a
-		// source update and throw the just-built engine away.
-		snapPath := filepath.Join(e.c.dir, e.name+".snap")
-		if err := snapshot.SaveFile(snapPath, g, eng.H); err == nil {
-			if err := os.Chtimes(snapPath, e.srcMod, e.srcMod); err == nil {
-				e.srcPath = snapPath // published by close(e.ready)
+	default:
+		f, err := os.Open(e.srcPath)
+		if err != nil {
+			e.err = err
+			return
+		}
+		g, err := graphio.Load(f)
+		f.Close()
+		if err != nil {
+			e.err = fmt.Errorf("%s: %w", e.srcPath, err)
+			return
+		}
+		eng, err := gtea.NewWithOptions(g, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+		if err != nil {
+			e.err = fmt.Errorf("%s: %w", e.srcPath, err)
+			return
+		}
+		// The registered "delta" backend is an empty overlay over the
+		// default base; the catalog's delta machinery wants the real
+		// base underneath — it has a snapshot codec (the overlay does
+		// not) and is what compaction rebuilds and AutoSnapshot saves.
+		baseIdx := eng.H
+		if ov, ok := baseIdx.(interface{ Base() reach.ContourIndex }); ok {
+			baseIdx = ov.Base()
+		}
+		e.dbase = &deltaBase{g: g, h: baseIdx}
+		e.buildKind = baseIdx.Kind()
+		e.ds = &Dataset{
+			Name: e.name, Source: e.srcPath, Graph: g, Engine: eng,
+			LoadTime: time.Since(start),
+		}
+		if opt.AutoSnapshot {
+			// Best effort; serving works without it. The snapshot is
+			// stamped no newer than the source so resolve keeps
+			// preferring fresher raw files, and the entry's identity
+			// moves to the snapshot — resolve will return it from now
+			// on, and without this the next Acquire would mistake the
+			// path change for a source update and throw the just-built
+			// engine away. The snapshot always holds the BASE graph and
+			// index; pending deltas stay in the log.
+			snapPath := filepath.Join(e.c.dir, e.name+".snap")
+			if err := snapshot.SaveFile(snapPath, g, baseIdx); err == nil {
+				if err := os.Chtimes(snapPath, e.srcMod, e.srcMod); err == nil {
+					e.srcPath = snapPath // published by close(e.ready)
+				}
 			}
 		}
+	}
+	if err := e.replayDeltas(); err != nil {
+		e.err = err
+		e.ds = nil
+	} else {
+		e.ds.LoadTime = time.Since(start)
 	}
 }
 
@@ -464,6 +548,9 @@ func (c *Catalog) List() ([]Info, error) {
 					info.FromSnapshot = e.ds.FromSnapshot
 					info.Generation = e.gen
 					info.LoadMillis = e.ds.LoadTime.Milliseconds()
+					info.PendingDeltas = delta.Ops(e.batches)
+					info.DeltaBatches = len(e.batches)
+					info.DeltaReplayMillis = e.replay.Milliseconds()
 					if se, ok := e.ds.Engine.(*shard.ShardedEngine); ok {
 						info.Shards = se.NumShards()
 						info.ShardMode = string(se.Mode())
@@ -477,6 +564,9 @@ func (c *Catalog) List() ([]Info, error) {
 				}
 			default:
 			}
+		}
+		if dl := c.dlogs[name]; dl != nil {
+			info.Compactions = dl.compactions.Load()
 		}
 		if manifestPath != "" && info.Shards == 0 {
 			// Not loaded yet: the shard count comes from the manifest

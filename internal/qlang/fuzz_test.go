@@ -21,7 +21,7 @@ func FuzzParse(f *testing.F) {
 		"node x label=a output\npnode y label=b parent=x edge=ad\npred x: y",
 		"node x label=a output\nnode y label=b parent=x edge=pc ref\nwhere y: year>=2000 name!=alice",
 		"node x label=a\npnode p label=b parent=x\npnode q label=c parent=x\npred x: p | !q",
-		"node x\nnode x", // duplicate
+		"node x\nnode x",  // duplicate
 		"pnode x label=a", // predicate root
 		"node x parent=ghost",
 		"where x: year>",

@@ -2,6 +2,7 @@
 // long-running serving:
 //
 //	POST /query     evaluate one query or a batch on a named dataset
+//	POST /update    append vertices/edges to a dataset (served at once)
 //	GET  /datasets  list datasets and their load state
 //	GET  /stats     server counters and configuration
 //	GET  /healthz   liveness probe
@@ -65,6 +66,11 @@ type Config struct {
 	// truncation happens per response), keyed by (dataset, generation,
 	// canonical query, index kind).
 	CacheBytes int64
+	// CompactAfter auto-compacts a dataset's delta log once its pending
+	// mutation count reaches this threshold (checked after each
+	// /update); 0 disables auto-compaction — deltas accumulate until an
+	// explicit fold (gtpq-compact).
+	CompactAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,13 +100,17 @@ type Server struct {
 	cache *qcache.Cache // nil when CacheBytes is 0
 	start time.Time
 
-	queued   atomic.Int64 // waiting + running admissions
-	requests atomic.Int64
-	queries  atomic.Int64
-	rejected atomic.Int64
-	timeouts atomic.Int64
-	failures atomic.Int64
-	rows     atomic.Int64
+	queued          atomic.Int64 // waiting + running admissions
+	requests        atomic.Int64
+	queries         atomic.Int64
+	rejected        atomic.Int64
+	timeouts        atomic.Int64
+	failures        atomic.Int64
+	rows            atomic.Int64
+	updates         atomic.Int64
+	updateFailures  atomic.Int64
+	compactions     atomic.Int64
+	compactFailures atomic.Int64
 }
 
 // New builds a server over cat.
@@ -126,6 +136,7 @@ func (s *Server) Cache() *qcache.Cache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -159,6 +170,39 @@ func (s *Server) admit(ctx context.Context) error {
 func (s *Server) done() {
 	<-s.sem
 	s.queued.Add(-1)
+}
+
+// requestContext derives the evaluation context: the client-requested
+// timeout (clamped to MaxTimeout) or the default.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// Drain waits until no admission is in flight (queued hits zero) or
+// ctx expires. Graceful shutdown calls it after the HTTP server stops
+// accepting, so every admitted evaluation and update runs to
+// completion — and the catalog's delta logs can then be flushed with
+// nothing left writing to them.
+func (s *Server) Drain(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d admissions still in flight: %w", s.queued.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
 }
 
 // queryRequest is the POST /query body. Exactly one of Query/Queries
@@ -219,14 +263,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer ds.Release()
 
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
 	sources := req.Queries
@@ -434,13 +471,17 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 // struct rather than ad-hoc map entries so a missed field is a compile
 // error, not a silently absent stat.
 type poolSnapshot struct {
-	Requests int64 `json:"requests"`
-	Queries  int64 `json:"queries"`
-	Rejected int64 `json:"rejected"`
-	Timeouts int64 `json:"timeouts"`
-	Failures int64 `json:"failures"`
-	Rows     int64 `json:"rows_returned"`
-	InFlight int64 `json:"in_flight"`
+	Requests        int64 `json:"requests"`
+	Queries         int64 `json:"queries"`
+	Rejected        int64 `json:"rejected"`
+	Timeouts        int64 `json:"timeouts"`
+	Failures        int64 `json:"failures"`
+	Rows            int64 `json:"rows_returned"`
+	InFlight        int64 `json:"in_flight"`
+	Updates         int64 `json:"updates"`
+	UpdateFailures  int64 `json:"update_failures"`
+	Compactions     int64 `json:"compactions"`
+	CompactFailures int64 `json:"compact_failures"`
 }
 
 // snapshotCounters captures all pool counters. The counters are
@@ -458,6 +499,10 @@ func (s *Server) snapshotCounters() poolSnapshot {
 	snap.Failures = s.failures.Load()
 	snap.Rows = s.rows.Load()
 	snap.InFlight = s.queued.Load()
+	snap.UpdateFailures = s.updateFailures.Load()
+	snap.CompactFailures = s.compactFailures.Load()
+	snap.Compactions = s.compactions.Load()
+	snap.Updates = s.updates.Load()
 	snap.Queries = s.queries.Load()
 	snap.Requests = s.requests.Load()
 	return snap
@@ -474,11 +519,12 @@ type cacheReport struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snapshotCounters()
 	infos, _ := s.datasetInfos()
-	shardedDatasets := 0
+	shardedDatasets, pendingDeltas := 0, 0
 	for _, info := range infos {
 		if info.Shards > 0 {
 			shardedDatasets++
 		}
+		pendingDeltas += info.PendingDeltas
 	}
 	cr := cacheReport{}
 	if s.cache != nil {
@@ -493,6 +539,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"default_timeout_ms": s.cfg.DefaultTimeout.Milliseconds(),
 			"max_timeout_ms":     s.cfg.MaxTimeout.Milliseconds(),
 			"cache_bytes":        s.cfg.CacheBytes,
+			"compact_after":      s.cfg.CompactAfter,
 		},
 		"requests":         snap.Requests,
 		"queries":          snap.Queries,
@@ -501,6 +548,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"failures":         snap.Failures,
 		"rows_returned":    snap.Rows,
 		"in_flight":        snap.InFlight,
+		"updates":          snap.Updates,
+		"update_failures":  snap.UpdateFailures,
+		"compactions":      snap.Compactions,
+		"compact_failures": snap.CompactFailures,
+		"pending_deltas":   pendingDeltas,
 		"cache":            cr,
 		"sharded_datasets": shardedDatasets,
 		"datasets":         infos,

@@ -34,13 +34,13 @@ func randomTestGraph(r *rand.Rand, style int) *graph.Graph {
 // under -race with this fixed seed; well over 200 (graph, query, K,
 // backend) cases are checked per run.
 func TestShardedEquivalence(t *testing.T) {
-	const graphSeeds = 8
+	baseSeed, graphSeeds := gen.EquivKnobs(t, 4200, 8)
 	backends := []string{"threehop", "tc"}
 	ks := []int{1, 2, 4, 7}
 	cases := 0
-	for seed := int64(0); seed < graphSeeds; seed++ {
+	for seed := int64(0); seed < int64(graphSeeds); seed++ {
 		for style := 0; style < 2; style++ {
-			r := rand.New(rand.NewSource(4200 + 10*seed + int64(style)))
+			r := rand.New(rand.NewSource(baseSeed + 10*seed + int64(style)))
 			g := randomTestGraph(r, style)
 			queries := make([]*core.Query, 2)
 			for i := range queries {
@@ -79,8 +79,8 @@ func TestShardedEquivalence(t *testing.T) {
 			}
 		}
 	}
-	if cases < 200 {
-		t.Fatalf("only %d equivalence cases checked, want >= 200", cases)
+	if floor := 25 * graphSeeds; cases < floor {
+		t.Fatalf("only %d equivalence cases checked, want >= %d", cases, floor)
 	}
 	t.Logf("checked %d (graph, query, K, backend) cases", cases)
 }

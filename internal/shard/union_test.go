@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/gen"
+	"gtpq/internal/graph"
+	"gtpq/internal/reach"
+)
+
+// TestUnionReconstructsGraph checks Union against the graph the engine
+// was sharded from: identical sizes, labels, adjacency (multiplicity
+// included), and edge kinds — under both partitioning modes.
+func TestUnionReconstructsGraph(t *testing.T) {
+	for _, mode := range []Mode{ModeWCC, ModeHash} {
+		t.Run(string(mode), func(t *testing.T) {
+			r := rand.New(rand.NewSource(21))
+			g := gen.Forest(r, 4, 10, 16, testLabels)
+			plan, err := Partition(g, 3, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := NewEngine(g, plan, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := se.Union()
+			if u.N() != g.N() || u.M() != g.M() {
+				t.Fatalf("union %d nodes / %d edges, want %d / %d", u.N(), u.M(), g.N(), g.M())
+			}
+			for v := 0; v < g.N(); v++ {
+				nv := graph.NodeID(v)
+				if u.Label(nv) != g.Label(nv) {
+					t.Fatalf("node %d label %q, want %q", v, u.Label(nv), g.Label(nv))
+				}
+				got, want := u.Out(nv), g.Out(nv)
+				if len(got) != len(want) {
+					t.Fatalf("node %d has %d out-edges, want %d", v, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("node %d out[%d] = %d, want %d", v, i, got[i], want[i])
+					}
+					if u.EdgeKindOf(nv, got[i]) != g.EdgeKindOf(nv, want[i]) {
+						t.Fatalf("node %d edge to %d: kind differs", v, got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompositeIndexMatchesFlat cross-checks the composite index's
+// point probes and contours against a flat index over the same graph.
+func TestCompositeIndexMatchesFlat(t *testing.T) {
+	for _, mode := range []Mode{ModeWCC, ModeHash} {
+		t.Run(string(mode), func(t *testing.T) {
+			r := rand.New(rand.NewSource(22))
+			var g *graph.Graph
+			if mode == ModeWCC {
+				g = gen.Forest(r, 4, 8, 14, testLabels)
+			} else {
+				g = gen.Graph(r, 30, 70, testLabels, true)
+			}
+			plan, err := Partition(g, 3, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			se, err := NewEngine(g, plan, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci := se.CompositeIndex()
+			if ci.Kind() != CompositeKindPrefix+se.IndexKind() {
+				t.Fatalf("composite kind %q", ci.Kind())
+			}
+			flat, err := reach.Build("", g, reach.BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st reach.Stats
+			n := g.N()
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					gu, gv := graph.NodeID(u), graph.NodeID(v)
+					if got, want := ci.ReachesSt(gu, gv, &st), flat.ReachesSt(gu, gv, &st); got != want {
+						t.Fatalf("Reaches(%d,%d) = %v, flat %v", u, v, got, want)
+					}
+				}
+			}
+			for rep := 0; rep < 6; rep++ {
+				S := make([]graph.NodeID, 0, 5)
+				for i := 1 + r.Intn(5); i > 0; i-- {
+					S = append(S, graph.NodeID(r.Intn(n)))
+				}
+				pc, cpc := flat.PredContour(S, &st), ci.PredContour(S, &st)
+				sc, csc := flat.SuccContour(S, &st), ci.SuccContour(S, &st)
+				for v := 0; v < n; v++ {
+					gv := graph.NodeID(v)
+					if got, want := cpc.ReachedFrom(gv, &st), pc.ReachedFrom(gv, &st); got != want {
+						t.Fatalf("S=%v PredContour(%d) = %v, flat %v", S, v, got, want)
+					}
+					if got, want := csc.ReachesNode(gv, &st), sc.ReachesNode(gv, &st); got != want {
+						t.Fatalf("S=%v SuccContour(%d) = %v, flat %v", S, v, got, want)
+					}
+				}
+			}
+		})
+	}
+}
