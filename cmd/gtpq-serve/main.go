@@ -73,17 +73,28 @@ func main() {
 		maxRows   = flag.Int("max-rows", 10000, "max result rows returned per query (0: unlimited)")
 		cacheB    = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (0: disable caching)")
 		compactN  = flag.Int("compact-after", 0, "fold a dataset's delta log into a fresh snapshot once this many mutations are pending (0: never auto-compact)")
+		plan      = flag.String("plan", "on", "cost-based pruning order + multiway kernels: on or off (off restores the paper's fixed post-order)")
+		costQuota = flag.Int64("cost-quota", 0, "reject queries whose estimated candidate cost exceeds this before admission (0: no limit)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var noPlan bool
+	switch *plan {
+	case "on", "true", "1":
+	case "off", "false", "0":
+		noPlan = true
+	default:
+		log.Fatalf("invalid -plan value %q (want on or off)", *plan)
+	}
 
 	cat, err := catalog.Open(*dataDir, catalog.Options{
 		Index:        *index,
 		Parallel:     *parallel,
 		AutoSnapshot: *snapshots,
+		NoPlan:       noPlan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -130,6 +141,7 @@ func main() {
 		MaxRows:        *maxRows,
 		CacheBytes:     *cacheB,
 		CompactAfter:   *compactN,
+		CostQuota:      *costQuota,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -56,11 +56,16 @@ func main() {
 		index    = flag.String("index", "", "reachability index backend: "+strings.Join(reach.Kinds(), ", ")+" (default threehop)")
 		parallel = flag.Bool("parallel", false, "build the index with multiple goroutines")
 		saveSnap = flag.String("save-snapshot", "", "write the graph and built index to this file (load it later with -data file)")
+		plan     = flag.String("plan", "on", "cost-based pruning order + multiway kernels: on or off (off restores the paper's fixed post-order)")
 	)
 	flag.Parse()
 	if *queryArg == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	noPlan, err := parsePlanFlag(*plan)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	src, err := readQuery(*queryArg)
@@ -105,7 +110,7 @@ func main() {
 		switch {
 		case err == nil:
 			// Snapshot: graph and index revived together, no build.
-			eng = gtea.NewWithIndex(g, h)
+			eng = gtea.NewWithIndexOptions(g, h, gtea.Options{NoPlan: noPlan})
 			fmt.Printf("%s: %d nodes, %d edges, %s index (snapshot loaded in %s)\n",
 				*file, g.N(), g.M(), h.Kind(), time.Since(start).Round(time.Millisecond))
 		case errors.Is(err, snapshot.ErrNotSnapshot):
@@ -129,7 +134,7 @@ func main() {
 	if eng == nil {
 		start = time.Now()
 		var err error
-		eng, err = gtea.NewWithOptions(g, gtea.Options{Index: *index, Parallel: *parallel})
+		eng, err = gtea.NewWithOptions(g, gtea.Options{Index: *index, Parallel: *parallel, NoPlan: noPlan})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -173,6 +178,17 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parsePlanFlag maps the -plan value to gtea.Options.NoPlan.
+func parsePlanFlag(v string) (noPlan bool, err error) {
+	switch v {
+	case "on", "true", "1":
+		return false, nil
+	case "off", "false", "0":
+		return true, nil
+	}
+	return false, fmt.Errorf("invalid -plan value %q (want on or off)", v)
 }
 
 func readQuery(arg string) (string, error) {

@@ -79,6 +79,10 @@ type Runner struct {
 	shardGraph   *graph.Graph
 	shardEngines map[int]*shard.ShardedEngine
 
+	planGraph   *graph.Graph
+	planFlat    map[string]*gtea.Engine         // kind/mode -> flat engine
+	planSharded map[string]*shard.ShardedEngine // kind/mode -> K-way engine
+
 	jsonRecords []Record // memoized machine-readable suite
 }
 

@@ -23,7 +23,7 @@ func nsDur(ns int64) time.Duration { return time.Duration(ns) }
 // JSON but not gated.
 
 // gatedExperiments are the record kinds the regression gate compares.
-var gatedExperiments = map[string]bool{"eval": true, "shard": true}
+var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true}
 
 // A record must additionally clear an absolute noise floor to count
 // as a regression: sub-millisecond records swing several-fold on a
@@ -56,6 +56,7 @@ type checkKey struct {
 	Shards     int
 	CacheMode  string
 	Pending    int
+	PlanMode   string
 }
 
 func keyOf(r Record) checkKey {
@@ -67,6 +68,7 @@ func keyOf(r Record) checkKey {
 		Shards:     r.Shards,
 		CacheMode:  r.CacheMode,
 		Pending:    r.PendingDeltas,
+		PlanMode:   r.PlanMode,
 	}
 }
 
@@ -86,6 +88,9 @@ func (k checkKey) String() string {
 	}
 	if k.Pending > 0 {
 		s += fmt.Sprintf("/pending=%d", k.Pending)
+	}
+	if k.PlanMode != "" {
+		s += "/plan=" + k.PlanMode
 	}
 	return s
 }

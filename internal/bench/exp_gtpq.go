@@ -222,4 +222,6 @@ func (r *Runner) All() {
 	r.ResultCache()
 	r.printf("\n")
 	r.Delta()
+	r.printf("\n")
+	r.Planning()
 }

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gen"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/qlang"
+	"gtpq/internal/shard"
+)
+
+// The plan experiment measures what the cost-based planner buys on a
+// label-skewed graph: the same workload evaluated with the planner on
+// (estimate-ordered pruning + multiway kernels) and off (the paper's
+// fixed post-order with pairwise probes), per reachability backend and
+// at K=1 (flat) and K=4 (sharded). Result counts are cross-checked
+// across every cell, so the numbers compare identical answer sets.
+
+// planLabels is the Zipf alphabet: "a" is hot (roughly half the
+// vertices), the tail is rare.
+var planLabels = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// planKinds are the reachability backends swept (the graph stays well
+// under the tc SCC limit).
+var planKinds = []string{"threehop", "tc"}
+
+// planKs are the shard counts swept; K=1 is the flat engine.
+var planKs = []int{1, 4}
+
+// planModes name the two planner settings.
+var planModes = []string{"on", "off"}
+
+// planWorkload anchors queries on rare labels hanging off hot ones —
+// the shape where candidate-count ordering and multiway intersection
+// pay: a fixed post-order prunes the huge hot sets first, while the
+// planner starts from the rare sets and intersects the hot root
+// against all children at once.
+var planWorkload = []struct {
+	name string
+	src  string
+}{
+	{"star", `node x label=a output
+pnode p label=f parent=x edge=ad
+pnode q label=g parent=x edge=ad
+pnode s label=h parent=x edge=ad
+pred x: p & q & s`},
+	{"chain", `node x label=a output
+node y label=d parent=x edge=ad output
+node z label=g parent=y edge=ad`},
+	{"mixed", `node x label=b output
+pnode p label=a parent=x edge=ad
+pnode q label=g parent=x edge=ad
+pred x: p & q`},
+}
+
+// planRounds is how many times each query is averaged per cell.
+const planRounds = 3
+
+// PlanGraph returns (cached) the plan benchmark graph: the shard
+// forest's shape with Zipf-skewed labels.
+func (r *Runner) PlanGraph() *graph.Graph {
+	if r.planGraph == nil {
+		blocks := 8 * r.Cfg.QueriesPerPoint
+		if blocks < 16 {
+			blocks = 16
+		}
+		r.planGraph = gen.ZipfForest(rand.New(rand.NewSource(r.Cfg.Seed+29)), blocks, 160, 360, planLabels)
+	}
+	return r.planGraph
+}
+
+func planQueries() []*core.Query {
+	qs := make([]*core.Query, len(planWorkload))
+	for i, wl := range planWorkload {
+		q, err := qlang.Parse(wl.src)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// planEval returns an evaluation closure for one (kind, K, mode) cell,
+// building and caching the engine behind it.
+func (r *Runner) planEval(kind string, k int, mode string) func(q *core.Query) int {
+	noPlan := mode == "off"
+	key := fmt.Sprintf("%s/%s", kind, mode)
+	g := r.PlanGraph()
+	if k == 1 {
+		if r.planFlat == nil {
+			r.planFlat = map[string]*gtea.Engine{}
+		}
+		e, ok := r.planFlat[key]
+		if !ok {
+			var err error
+			e, err = gtea.NewWithOptions(g, gtea.Options{Index: kind, NoPlan: noPlan})
+			if err != nil {
+				panic("bench: " + err.Error())
+			}
+			r.planFlat[key] = e
+		}
+		return func(q *core.Query) int { return e.Eval(q).Len() }
+	}
+	if r.planSharded == nil {
+		r.planSharded = map[string]*shard.ShardedEngine{}
+	}
+	skey := fmt.Sprintf("%s/%d", key, k)
+	se, ok := r.planSharded[skey]
+	if !ok {
+		plan, err := shard.Partition(g, k, shard.ModeAuto)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		se, err = shard.NewEngine(g, plan, shard.Options{Index: kind, NoPlan: noPlan})
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		r.planSharded[skey] = se
+	}
+	return func(q *core.Query) int { return se.Eval(q).Len() }
+}
+
+// planCell times one (query, kind, K, mode) cell and returns the
+// averaged latency and result count.
+func (r *Runner) planCell(q *core.Query, kind string, k int, mode string) (time.Duration, int) {
+	eval := r.planEval(kind, k, mode)
+	eval(q) // warm up
+	var total time.Duration
+	results := 0
+	for round := 0; round < planRounds; round++ {
+		total += timeIt(func() { results = eval(q) })
+	}
+	return total / planRounds, results
+}
+
+// Planning prints the planner-on vs planner-off comparison per query,
+// backend, and shard count, with the on/off speedup factor.
+func (r *Runner) Planning() {
+	g := r.PlanGraph()
+	qs := planQueries()
+	r.printf("== Planning: cost-based order + multiway kernels vs fixed post-order, %d nodes / %d edges (Zipf labels) ==\n", g.N(), g.M())
+	r.printf("%-8s %-10s %4s %10s %12s %12s %9s\n", "query", "kind", "K", "results", "plan=on", "plan=off", "speedup")
+	for qi, q := range qs {
+		for _, kind := range planKinds {
+			for _, k := range planKs {
+				onT, onN := r.planCell(q, kind, k, "on")
+				offT, offN := r.planCell(q, kind, k, "off")
+				if onN != offN {
+					panic(fmt.Sprintf("bench: plan answer diverged on %s/%s/K=%d: on=%d off=%d",
+						planWorkload[qi].name, kind, k, onN, offN))
+				}
+				speedup := float64(offT) / float64(onT)
+				r.printf("%-8s %-10s %4d %10d %12s %12s %8.2fx\n",
+					planWorkload[qi].name, kind, k, onN, fmtDur(onT), fmtDur(offT), speedup)
+			}
+		}
+	}
+}
+
+// planRecords emits the machine-readable plan experiment: one record
+// per (query, backend, K, mode) with averaged latency and result
+// count. CI archives these and the regression gate watches them.
+func (r *Runner) planRecords() []Record {
+	g := r.PlanGraph()
+	qs := planQueries()
+	var recs []Record
+	for qi, q := range qs {
+		for _, kind := range planKinds {
+			for _, k := range planKs {
+				want := -1
+				for _, mode := range planModes {
+					avg, results := r.planCell(q, kind, k, mode)
+					if want == -1 {
+						want = results
+					} else if results != want {
+						panic(fmt.Sprintf("bench: plan answer diverged on %s/%s/K=%d", planWorkload[qi].name, kind, k))
+					}
+					recs = append(recs, Record{
+						Experiment: "plan",
+						Kind:       kind,
+						Query:      planWorkload[qi].name,
+						Nodes:      g.N(),
+						Edges:      g.M(),
+						Shards:     k,
+						PlanMode:   mode,
+						NsPerOp:    avg.Nanoseconds(),
+						Results:    int64(results),
+					})
+				}
+			}
+		}
+	}
+	return recs
+}

@@ -60,6 +60,10 @@ type Record struct {
 	// when the measurement ran ("delta" eval rungs and the
 	// "delta-compact" fold record).
 	PendingDeltas int `json:"pending_deltas,omitempty"`
+
+	// Plan experiment field: whether the cost-based planner was on for
+	// the measurement ("on"/"off").
+	PlanMode string `json:"plan_mode,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -153,6 +157,8 @@ func (r *Runner) JSONRecords() []Record {
 	recs = append(recs, r.cacheRecords()...)
 	// Live-update overlay ladder + compaction cliff.
 	recs = append(recs, r.deltaRecords()...)
+	// Planner on/off over the skewed-label forest.
+	recs = append(recs, r.planRecords()...)
 	r.jsonRecords = recs
 	return recs
 }

@@ -1,0 +1,107 @@
+package card
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.New(5, 3)
+	g.AddNode("a", nil)
+	g.AddNode("a", nil)
+	g.AddNode("b", nil)
+	g.AddNode("b", nil)
+	g.AddNode("c", nil)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	g.Freeze()
+	return g
+}
+
+func TestFromGraphAndEstimate(t *testing.T) {
+	g := testGraph()
+	s := FromGraph(g, 7)
+	if s.Nodes != 5 || s.Edges != 3 || s.Generation != 7 {
+		t.Fatalf("summary %+v", s)
+	}
+	if want := map[string]int{"a": 2, "b": 2, "c": 1}; !reflect.DeepEqual(s.Labels, want) {
+		t.Fatalf("labels %v, want %v", s.Labels, want)
+	}
+
+	// label-only nodes price at the label count, anything else at N.
+	q := core.NewQuery()
+	x := q.AddRoot("x", core.Label("a"))
+	q.AddNode("y", core.Backbone, x, core.AD, core.Label("c"))
+	q.SetOutput(x)
+	if got := s.EstimateQuery(q); got != 2+1 {
+		t.Fatalf("estimate = %d, want 3", got)
+	}
+	attr := q.AddNode("z", core.Predicate, x, core.AD, core.Label("b"))
+	q.Nodes[attr].Attr = append(q.Nodes[attr].Attr, core.Atom{Attr: "age", Op: core.GE, Val: graph.NumV(3)})
+	if got := s.EstimateQuery(q); got != 2+1+5 {
+		t.Fatalf("estimate with attr node = %d, want 8", got)
+	}
+	// Unknown labels price at zero — the set is provably empty.
+	q2 := core.NewQuery()
+	q2.AddRoot("x", core.Label("zzz"))
+	q2.SetOutput(0)
+	if got := s.EstimateQuery(q2); got != 0 {
+		t.Fatalf("unknown label estimate = %d, want 0", got)
+	}
+}
+
+type mapCounter map[string]int
+
+func (m mapCounter) LabelCount(l string) int { return m[l] }
+
+func TestFromCounts(t *testing.T) {
+	s := FromCounts([]string{"a", "b"}, mapCounter{"a": 4, "b": 1}, 10, 20, 3)
+	if s.Nodes != 10 || s.Edges != 20 || s.Generation != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if want := map[string]int{"a": 4, "b": 1}; !reflect.DeepEqual(s.Labels, want) {
+		t.Fatalf("labels %v, want %v", s.Labels, want)
+	}
+}
+
+func TestSidecarPath(t *testing.T) {
+	dir := t.TempDir()
+	if got, want := SidecarPath(filepath.Join(dir, "x.snap")), filepath.Join(dir, "x.stats.json"); got != want {
+		t.Fatalf("snap sidecar = %q, want %q", got, want)
+	}
+	if got, want := SidecarPath(filepath.Join(dir, "x.json")), filepath.Join(dir, "x.stats.json"); got != want {
+		t.Fatalf("json sidecar = %q, want %q", got, want)
+	}
+	// A directory source (sharded dataset) keeps the sidecar inside.
+	sub := filepath.Join(dir, "sharded")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := SidecarPath(sub), filepath.Join(sub, "stats.json"); got != want {
+		t.Fatalf("dir sidecar = %q, want %q", got, want)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := FromGraph(testGraph(), 42)
+	path := filepath.Join(t.TempDir(), "x.stats.json")
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loading a missing sidecar should fail")
+	}
+}

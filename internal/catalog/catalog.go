@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"gtpq/internal/card"
 	"gtpq/internal/core"
 	"gtpq/internal/delta"
 	"gtpq/internal/graph"
@@ -55,6 +56,9 @@ type Options struct {
 	// ShardWorkers bounds the scatter-gather fan-out of sharded
 	// datasets (default GOMAXPROCS).
 	ShardWorkers int
+	// NoPlan disables the cost-based query planner in every engine the
+	// catalog builds or revives (gtea.Options.NoPlan).
+	NoPlan bool
 }
 
 // Engine is the evaluation surface a dataset exposes: the single-graph
@@ -95,6 +99,10 @@ type Dataset struct {
 	// for a fully-compacted dataset.
 	PendingDeltas int
 	DeltaBatches  int
+	// Card is the dataset's cardinality summary (label histogram +
+	// totals) at this generation, recomputed across delta generations;
+	// the server prices queries against it before admission.
+	Card *card.Stats
 	// LoadTime is how long the build or revive took.
 	LoadTime time.Duration
 
@@ -280,6 +288,9 @@ func (c *Catalog) Names() ([]string, error) {
 			}
 			continue
 		}
+		if strings.HasSuffix(de.Name(), ".stats.json") {
+			continue // cardinality sidecar, not a dataset
+		}
 		for _, suf := range suffixes {
 			if strings.HasSuffix(de.Name(), suf) {
 				add(strings.TrimSuffix(de.Name(), suf))
@@ -402,6 +413,7 @@ func (e *entry) handle() *Dataset {
 		Generation:    e.gen,
 		PendingDeltas: delta.Ops(e.batches),
 		DeltaBatches:  len(e.batches),
+		Card:          e.ds.Card,
 		LoadTime:      e.ds.LoadTime,
 		entry:         e,
 	}
@@ -415,7 +427,7 @@ func (e *entry) load(opt Options, kind loadKind) {
 	start := time.Now()
 	switch kind {
 	case loadShard:
-		se, man, err := shard.LoadDir(filepath.Dir(e.srcPath), shard.LoadOptions{Workers: opt.ShardWorkers})
+		se, man, err := shard.LoadDir(filepath.Dir(e.srcPath), shard.LoadOptions{Workers: opt.ShardWorkers, NoPlan: opt.NoPlan})
 		if err != nil {
 			e.err = err
 			return
@@ -429,7 +441,9 @@ func (e *entry) load(opt Options, kind loadKind) {
 		e.ds = &Dataset{
 			Name: e.name, Source: e.srcPath, Engine: se,
 			Sharded: true, FromSnapshot: true, LoadTime: time.Since(start),
+			Card: card.FromCounts(se.Labels(), se, se.TotalNodes(), se.TotalEdges(), e.gen),
 		}
+		persistCard(filepath.Dir(e.srcPath), e.ds.Card)
 	case loadSnap:
 		g, h, err := snapshot.LoadFile(e.srcPath)
 		if err != nil {
@@ -440,9 +454,12 @@ func (e *entry) load(opt Options, kind loadKind) {
 		e.buildKind = h.Kind()
 		e.ds = &Dataset{
 			Name: e.name, Source: e.srcPath, Graph: g,
-			Engine: gtea.NewWithIndex(g, h), FromSnapshot: true,
-			LoadTime: time.Since(start),
+			Engine:       gtea.NewWithIndexOptions(g, h, gtea.Options{NoPlan: opt.NoPlan}),
+			FromSnapshot: true,
+			LoadTime:     time.Since(start),
+			Card:         card.FromGraph(g, e.gen),
 		}
+		persistCard(e.srcPath, e.ds.Card)
 	default:
 		f, err := os.Open(e.srcPath)
 		if err != nil {
@@ -455,7 +472,7 @@ func (e *entry) load(opt Options, kind loadKind) {
 			e.err = fmt.Errorf("%s: %w", e.srcPath, err)
 			return
 		}
-		eng, err := gtea.NewWithOptions(g, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+		eng, err := gtea.NewWithOptions(g, gtea.Options{Index: opt.Index, Parallel: opt.Parallel, NoPlan: opt.NoPlan})
 		if err != nil {
 			e.err = fmt.Errorf("%s: %w", e.srcPath, err)
 			return
@@ -473,6 +490,7 @@ func (e *entry) load(opt Options, kind loadKind) {
 		e.ds = &Dataset{
 			Name: e.name, Source: e.srcPath, Graph: g, Engine: eng,
 			LoadTime: time.Since(start),
+			Card:     card.FromGraph(g, e.gen),
 		}
 		if opt.AutoSnapshot {
 			// Best effort; serving works without it. The snapshot is
@@ -485,6 +503,7 @@ func (e *entry) load(opt Options, kind loadKind) {
 			// index; pending deltas stay in the log.
 			snapPath := filepath.Join(e.c.dir, e.name+".snap")
 			if err := snapshot.SaveFile(snapPath, g, baseIdx); err == nil {
+				persistCard(snapPath, e.ds.Card)
 				if err := os.Chtimes(snapPath, e.srcMod, e.srcMod); err == nil {
 					e.srcPath = snapPath // published by close(e.ready)
 				}
@@ -496,6 +515,15 @@ func (e *entry) load(opt Options, kind loadKind) {
 		e.ds = nil
 	} else {
 		e.ds.LoadTime = time.Since(start)
+	}
+}
+
+// persistCard best-effort writes the cardinality sidecar next to the
+// dataset source (serving works without it; the sidecar exists so
+// external tooling reads the same numbers admission prices with).
+func persistCard(srcPath string, s *card.Stats) {
+	if s != nil {
+		_ = card.Save(card.SidecarPath(srcPath), s)
 	}
 }
 

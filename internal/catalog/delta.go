@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gtpq/internal/card"
 	"gtpq/internal/delta"
 	"gtpq/internal/gtea"
 	"gtpq/internal/reach"
@@ -155,7 +156,10 @@ func (e *entry) applyBatches(base *deltaBase, batches []delta.Batch) error {
 	ov := delta.NewOverlay(base.h, base.g.N(), ext.N(), batches)
 	e.batches = batches
 	e.ds.Graph = ext
-	e.ds.Engine = gtea.NewWithIndex(ext, ov)
+	e.ds.Engine = gtea.NewWithIndexOptions(ext, ov, gtea.Options{NoPlan: e.c.opt.NoPlan})
+	// The summary tracks the served (extended) graph, so admission and
+	// the planner price delta generations against current counts.
+	e.ds.Card = card.FromGraph(ext, e.gen)
 	return nil
 }
 
@@ -184,6 +188,11 @@ func (c *Catalog) swapEntry(name string, prev, next *entry) *Dataset {
 	defer c.mu.Unlock()
 	c.nextGen++
 	next.gen = c.nextGen
+	if next.ds != nil && next.ds.Card != nil {
+		// The swapped-in entry got its generation just now; the summary
+		// carries it so sidecars and /stats agree with cache keys.
+		next.ds.Card.Generation = next.gen
+	}
 	next.refs++ // the returned handle
 	if old := c.entries[name]; old == prev {
 		if old != nil && !old.stale {
@@ -385,7 +394,7 @@ func (c *Catalog) Compact(name string) (*Dataset, error) {
 			return nil, fmt.Errorf("catalog: %s: compact swap: %w", name, err)
 		}
 		os.RemoveAll(old)
-		se, man, lerr := shard.LoadDir(dir, shard.LoadOptions{Workers: c.opt.ShardWorkers})
+		se, man, lerr := shard.LoadDir(dir, shard.LoadOptions{Workers: c.opt.ShardWorkers, NoPlan: c.opt.NoPlan})
 		if lerr != nil {
 			return nil, fmt.Errorf("catalog: %s: compacted directory: %w", name, lerr)
 		}
@@ -400,7 +409,9 @@ func (c *Catalog) Compact(name string) (*Dataset, error) {
 		next.ds = &Dataset{
 			Name: name, Source: mpath, Engine: se,
 			Sharded: true, FromSnapshot: true,
+			Card: card.FromCounts(se.Labels(), se, se.TotalNodes(), se.TotalEdges(), 0),
 		}
+		persistCard(dir, next.ds.Card)
 	} else {
 		h, berr := reach.Build(e.buildKind, ext, reach.BuildOptions{Parallel: c.opt.Parallel})
 		if berr != nil {
@@ -418,8 +429,11 @@ func (c *Catalog) Compact(name string) (*Dataset, error) {
 		next.dbase = &deltaBase{g: ext, h: h}
 		next.ds = &Dataset{
 			Name: name, Source: snapPath, Graph: ext,
-			Engine: gtea.NewWithIndex(ext, h), FromSnapshot: true,
+			Engine:       gtea.NewWithIndexOptions(ext, h, gtea.Options{NoPlan: c.opt.NoPlan}),
+			FromSnapshot: true,
+			Card:         card.FromGraph(ext, 0),
 		}
+		persistCard(snapPath, next.ds.Card)
 	}
 
 	// Steps (3) and (4): the folded base is published, drop the log

@@ -38,6 +38,11 @@ type Overlay struct {
 	baseN graph.NodeID // ids < baseN are base vertices
 	extN  int          // total vertices including delta additions
 
+	// deltaLabels counts the labels of delta-added vertices, so
+	// LabelCount stays exact across generations without the base index
+	// rescanning anything. Nil when no batch added vertices.
+	deltaLabels map[string]int
+
 	// Delta edge i goes tails[i] -> heads[i].
 	tails, heads []graph.NodeID
 	// closure[i] is the memoized delta-reachable edge set: bit j is set
@@ -66,6 +71,12 @@ const KindPrefix = "delta+"
 func NewOverlay(base reach.ContourIndex, baseN, extN int, batches []Batch) *Overlay {
 	o := &Overlay{base: base, baseN: graph.NodeID(baseN), extN: extN}
 	for i := range batches {
+		for _, nd := range batches[i].Nodes {
+			if o.deltaLabels == nil {
+				o.deltaLabels = make(map[string]int)
+			}
+			o.deltaLabels[nd.Label]++
+		}
 		for _, e := range batches[i].Edges {
 			o.tails = append(o.tails, e.From)
 			o.heads = append(o.heads, e.To)
@@ -163,6 +174,13 @@ func (o *Overlay) Kind() string { return KindPrefix + o.base.Kind() }
 
 // IndexSize is the base index size plus one element per delta edge.
 func (o *Overlay) IndexSize() int { return o.base.IndexSize() + len(o.tails) }
+
+// LabelCount is the base count plus the delta-added vertices carrying
+// the label, keeping the planner's cardinality summary current across
+// generations.
+func (o *Overlay) LabelCount(label string) int {
+	return o.base.LabelCount(label) + o.deltaLabels[label]
+}
 
 // DeltaEdges returns the number of delta edges the overlay carries.
 func (o *Overlay) DeltaEdges() int { return len(o.tails) }

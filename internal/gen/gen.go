@@ -57,6 +57,32 @@ func Forest(r *rand.Rand, blocks, nPerBlock, mPerBlock int, labels []string) *gr
 	return g
 }
 
+// ZipfForest builds a Forest whose labels follow a Zipf distribution
+// (s=1.3) instead of the uniform draw: labels[0] is hot (covering
+// roughly half the vertices), the tail labels are rare. This is the
+// skew the cost-based planner exploits — a query anchored on a rare
+// label should be pruned from that label inward, not in fixed
+// post-order. The graph is frozen.
+func ZipfForest(r *rand.Rand, blocks, nPerBlock, mPerBlock int, labels []string) *graph.Graph {
+	z := rand.NewZipf(r, 1.3, 1, uint64(len(labels)-1))
+	g := graph.New(blocks*nPerBlock, blocks*mPerBlock)
+	for b := 0; b < blocks; b++ {
+		for i := 0; i < nPerBlock; i++ {
+			g.AddNode(labels[z.Uint64()], nil)
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		base := b * nPerBlock
+		for e := 0; e < mPerBlock; e++ {
+			u := r.Intn(nPerBlock - 1)
+			v := u + 1 + r.Intn(nPerBlock-u-1)
+			g.AddEdge(graph.NodeID(base+u), graph.NodeID(base+v))
+		}
+	}
+	g.Freeze()
+	return g
+}
+
 // Query builds a random GTPQ over the label alphabet: a random tree
 // with mixed AD/PC edges, random backbone/predicate kinds, random
 // structural predicates (possibly with ∨ and ¬ when allowLogic is

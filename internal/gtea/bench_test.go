@@ -51,19 +51,21 @@ func benchGraph() *graph.Graph {
 func BenchmarkEval(b *testing.B) {
 	g := benchGraph()
 	for _, kind := range []string{"threehop", "tc"} {
-		e, err := NewWithOptions(g, Options{Index: kind})
-		if err != nil {
-			b.Fatal(err)
-		}
-		for name, q := range benchWorkload() {
-			b.Run(fmt.Sprintf("%s/%s", kind, name), func(b *testing.B) {
-				e.Eval(q) // warm up (and pre-size pooled scratch)
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					e.Eval(q)
-				}
-			})
+		for _, mode := range []string{"plan", "noplan"} {
+			e, err := NewWithOptions(g, Options{Index: kind, NoPlan: mode == "noplan"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for name, q := range benchWorkload() {
+				b.Run(fmt.Sprintf("%s/%s/%s", kind, name, mode), func(b *testing.B) {
+					e.Eval(q) // warm up (and pre-size pooled scratch)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						e.Eval(q)
+					}
+				})
+			}
 		}
 	}
 }

@@ -32,8 +32,15 @@ import (
 // paper's I/O-cost metrics (Fig 10).
 type Stats struct {
 	// Input counts data-node accesses (candidate scans plus pruning and
-	// matching-graph passes).
+	// matching-graph passes); it is always PruneInput + EnumInput.
 	Input int64
+	// PruneInput is the pruning share of Input: candidate scans and the
+	// two pruning rounds (including multiway-kernel BFS visits). Planner
+	// wins show up here.
+	PruneInput int64
+	// EnumInput is the enumeration share of Input: matching-graph
+	// construction and result collection passes.
+	EnumInput int64
 	// Index counts index elements looked up (3-hop list entries or
 	// closure words).
 	Index int64
@@ -46,6 +53,11 @@ type Stats struct {
 	// evaluation.
 	PruneTime time.Duration
 	TotalTime time.Duration
+	// Plan is the cost-based planner's record of this evaluation (nil
+	// with Options.NoPlan, and in aggregated sharded stats): the chosen
+	// downward order and per-node kernel with estimated vs. actual
+	// candidate counts, so misestimates are observable.
+	Plan *PlanInfo
 }
 
 // Options tune the engine; the zero value is the paper's algorithm over
@@ -57,6 +69,11 @@ type Options struct {
 	// NoShrink disables the shrunk prime subtree: enumeration walks the
 	// full prime subtree.
 	NoShrink bool
+	// NoPlan disables the cost-based planner: pruning visits query
+	// nodes in the paper's fixed post-order and always uses the paper's
+	// pairwise/contour kernels (no multiway bitset intersection). The
+	// escape hatch behind the -plan=off flags.
+	NoPlan bool
 	// Index names the reachability backend (reach.Kinds lists them;
 	// empty selects reach.DefaultKind, the 3-hop index).
 	Index string
@@ -103,6 +120,20 @@ func NewWithIndex(g *graph.Graph, h reach.ContourIndex) *Engine {
 	return &Engine{G: g, H: h}
 }
 
+// NewWithIndexOptions wraps an existing index with explicit engine
+// options (opt.Index and opt.Parallel are ignored — the index is
+// already built). The catalog uses it to carry -plan=off through
+// snapshot revivals and delta overlays.
+func NewWithIndexOptions(g *graph.Graph, h reach.ContourIndex, opt Options) *Engine {
+	return &Engine{G: g, H: h, Opt: opt}
+}
+
+// LabelCount reports how many data nodes carry the label, answered by
+// the reachability backend's cardinality summary (part of the
+// catalog.Engine interface; the planner and cost-based admission both
+// estimate candidate-set sizes through it).
+func (e *Engine) LabelCount(label string) int { return e.H.LabelCount(label) }
+
 // IndexKind reports the reachability backend this engine evaluates
 // over (part of the catalog.Engine interface shared with sharded
 // execution).
@@ -141,6 +172,18 @@ type evalContext struct {
 	bucketPos []chainPos
 	bucketBuf []graph.NodeID
 	bucketOut [][]graph.NodeID
+
+	// Planner state (see plan.go): the chosen downward order, per-node
+	// estimates, and the multiway kernel's bitset/stack scratch. plan is
+	// freshly allocated per call (it escapes through Stats); the rest is
+	// pooled like every other buffer.
+	plan      *PlanInfo
+	planOrder []int
+	planEst   []int
+	planReady []bool
+	accSet    core.Bitset
+	childSet  core.Bitset
+	bfsStack  []graph.NodeID
 
 	stat Stats
 	rst  reach.Stats // per-call index-lookup sink
@@ -203,6 +246,7 @@ func (e *Engine) newContext() *evalContext {
 	ec.stat = Stats{}
 	ec.rst = reach.Stats{}
 	ec.ctx, ec.err, ec.ops = nil, nil, 0
+	ec.plan = nil
 	return ec
 }
 
@@ -261,6 +305,7 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 		panic("gtea: query has no output nodes")
 	}
 
+	ec.planQuery(q)
 	ec.initCandidates(q)
 
 	pruneStart := time.Now()
@@ -281,6 +326,8 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 		ec.stat.PruneTime = time.Since(pruneStart)
 	}
 
+	ec.finishPlan(q)
+	ec.stat.Input = ec.stat.PruneInput + ec.stat.EnumInput
 	ec.stat.Index = ec.rst.Lookups
 	ec.stat.TotalTime = time.Since(start)
 	if ec.err != nil {
@@ -297,6 +344,7 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 func (e *Engine) FilterOnly(q *core.Query) [][]graph.NodeID {
 	ec := e.newContext()
 	defer e.release(ec)
+	ec.planQuery(q)
 	ec.initCandidates(q)
 	ec.pruneDownward(q)
 	if len(ec.mat[q.Root]) > 0 {
@@ -333,7 +381,10 @@ func (ec *evalContext) initCandidates(q *core.Query) {
 		cs := core.Candidates(ec.g, q.Nodes[u].Attr)
 		ec.mat[u] = cs
 		total += len(cs)
-		ec.stat.Input += int64(len(cs))
+		ec.stat.PruneInput += int64(len(cs))
+		if ec.plan != nil {
+			ec.plan.Nodes[u].InitCands = len(cs)
+		}
 	}
 	if cap(ec.candArena) < total {
 		ec.candArena = make([]graph.NodeID, 0, total)

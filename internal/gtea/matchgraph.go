@@ -134,7 +134,7 @@ func (ec *evalContext) buildMatchingGraph(q *core.Query, comps []component) *mat
 				if ec.tick() {
 					return mg
 				}
-				ec.stat.Input++
+				ec.stat.EnumInput++
 				lists := make([][]graph.NodeID, len(kids))
 				var cs reach.SuccContour
 				if hasAD {

@@ -1,0 +1,189 @@
+package gtea
+
+import (
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+	"gtpq/internal/gen"
+	"gtpq/internal/graph"
+	"gtpq/internal/logic"
+)
+
+var planTestLabels = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// planTestGraph is the Zipf-skewed forest the planner experiments use:
+// label "a" covers roughly half the vertices, the tail is rare.
+func planTestGraph() *graph.Graph {
+	return gen.ZipfForest(rand.New(rand.NewSource(46)), 16, 160, 360, planTestLabels)
+}
+
+// starQuery is the headline planner shape: a hot-label root constrained
+// by three rare-label AD predicate children.
+func starQuery() *core.Query {
+	q := core.NewQuery()
+	x := q.AddRoot("x", core.Label("a"))
+	p := q.AddNode("p", core.Predicate, x, core.AD, core.Label("f"))
+	s := q.AddNode("s", core.Predicate, x, core.AD, core.Label("g"))
+	u := q.AddNode("u", core.Predicate, x, core.AD, core.Label("h"))
+	q.SetStruct(x, logic.And(logic.Var(p), logic.Var(s), logic.Var(u)))
+	q.SetOutput(x)
+	return q
+}
+
+// TestPlanOrderChildrenBeforeParents checks the one invariant any
+// downward order must keep: every node is processed after all of its
+// children (pruning a node reads the children's final sets).
+func TestPlanOrderChildrenBeforeParents(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	g := gen.Graph(r, 60, 150, planTestLabels, false)
+	e := New(g)
+	for trial := 0; trial < 40; trial++ {
+		q := gen.Query(r, 2+r.Intn(6), planTestLabels, true, true)
+		_, st := e.EvalStats(q)
+		if st.Plan == nil {
+			t.Fatalf("trial %d: planner on but no plan recorded", trial)
+		}
+		order := st.Plan.Order
+		if len(order) != len(q.Nodes) {
+			t.Fatalf("trial %d: order %v does not cover %d nodes", trial, order, len(q.Nodes))
+		}
+		pos := make(map[int]int, len(order))
+		for i, u := range order {
+			if _, dup := pos[u]; dup {
+				t.Fatalf("trial %d: node %d appears twice in %v", trial, u, order)
+			}
+			pos[u] = i
+		}
+		for _, n := range q.Nodes {
+			for _, c := range n.Children {
+				if pos[c] > pos[n.ID] {
+					t.Fatalf("trial %d: child %d after parent %d in %v", trial, c, n.ID, order)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanRecordsEstimatesAndKernels pins what the plan reports on the
+// skewed star: estimates equal the label frequencies, the rare
+// children go first, the hot root last, and the calibrated cost model
+// picks the multiway kernel for the root.
+func TestPlanRecordsEstimatesAndKernels(t *testing.T) {
+	g := planTestGraph()
+	e := New(g)
+	q := starQuery()
+	ans, st := e.EvalStats(q)
+	if st.Plan == nil {
+		t.Fatal("no plan recorded")
+	}
+	order := st.Plan.Order
+	if order[len(order)-1] != q.Root {
+		t.Fatalf("hot root not processed last: order %v", order)
+	}
+	for u, pn := range st.Plan.Nodes {
+		l, _ := q.Nodes[u].Attr.LabelOnly()
+		if want := len(g.ByLabel(l)); pn.EstCands != want || pn.InitCands != want {
+			t.Fatalf("node %d (%s): est=%d init=%d, label count %d", u, l, pn.EstCands, pn.InitCands, want)
+		}
+		if pn.FinalCands > pn.InitCands {
+			t.Fatalf("node %d: final %d > init %d", u, pn.FinalCands, pn.InitCands)
+		}
+	}
+	// Rarest child (h) first, and ascending estimates across the three
+	// leaves.
+	for i := 0; i+1 < len(order)-1; i++ {
+		if st.Plan.Nodes[order[i]].EstCands > st.Plan.Nodes[order[i+1]].EstCands {
+			t.Fatalf("order %v not ascending by estimate", order)
+		}
+	}
+	if st.Plan.Nodes[q.Root].Kernel != KernelMultiway {
+		t.Fatalf("root kernel = %q, want multiway on the skewed star", st.Plan.Nodes[q.Root].Kernel)
+	}
+	// And the multiway answer matches the paper path.
+	off, err := NewWithOptions(g, Options{NoPlan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := off.Eval(q); !want.Equal(ans) {
+		t.Fatalf("multiway root changed the answer: want %v got %v", want, ans)
+	}
+}
+
+// TestNoPlanRestoresPaperBehavior checks the escape hatch: with NoPlan
+// no plan is recorded, and answers are byte-identical either way.
+func TestNoPlanRestoresPaperBehavior(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	g := planTestGraph()
+	on := New(g)
+	off, err := NewWithOptions(g, Options{NoPlan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := gen.Query(r, 2+r.Intn(5), planTestLabels, true, true)
+		want, stOff := off.EvalStats(q)
+		got, stOn := on.EvalStats(q)
+		if stOff.Plan != nil {
+			t.Fatalf("trial %d: NoPlan recorded a plan", trial)
+		}
+		if stOn.Plan == nil {
+			t.Fatalf("trial %d: planner on recorded no plan", trial)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("trial %d: answers differ\n%s\nwant %v\ngot  %v", trial, q, want, got)
+		}
+	}
+}
+
+// TestPlanNegationFallsBackToPaper pins the safety gate: a node whose
+// extension formula negates an AD child is not multiway-eligible, so
+// its kernel stays "paper" and the answer is unchanged.
+func TestPlanNegationFallsBackToPaper(t *testing.T) {
+	g := planTestGraph()
+	q := core.NewQuery()
+	x := q.AddRoot("x", core.Label("a"))
+	p := q.AddNode("p", core.Predicate, x, core.AD, core.Label("g"))
+	q.SetStruct(x, logic.Not(logic.Var(p)))
+	q.SetOutput(x)
+	e := New(g)
+	ans, st := e.EvalStats(q)
+	if st.Plan == nil {
+		t.Fatal("no plan recorded")
+	}
+	if k := st.Plan.Nodes[x].Kernel; k != KernelPaper {
+		t.Fatalf("negated node kernel = %q, want paper", k)
+	}
+	off, err := NewWithOptions(g, Options{NoPlan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := off.Eval(q); !want.Equal(ans) {
+		t.Fatalf("negation fallback changed the answer: want %v got %v", want, ans)
+	}
+}
+
+// TestStatsInputSplit checks the counter invariant the split
+// introduced: Input is always PruneInput + EnumInput, with both sides
+// populated on a pruning + enumerating workload.
+func TestStatsInputSplit(t *testing.T) {
+	g := planTestGraph()
+	for _, noPlan := range []bool{false, true} {
+		e, err := NewWithOptions(g, Options{NoPlan: noPlan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := core.NewQuery()
+		x := q.AddRoot("x", core.Label("a"))
+		q.AddNode("y", core.Backbone, x, core.AD, core.Label("d"))
+		q.SetOutput(0)
+		q.SetOutput(1)
+		_, st := e.EvalStats(q)
+		if st.PruneInput == 0 || st.EnumInput == 0 {
+			t.Fatalf("noPlan=%v: PruneInput=%d EnumInput=%d, want both > 0", noPlan, st.PruneInput, st.EnumInput)
+		}
+		if st.Input != st.PruneInput+st.EnumInput {
+			t.Fatalf("noPlan=%v: Input=%d != PruneInput+EnumInput=%d", noPlan, st.Input, st.PruneInput+st.EnumInput)
+		}
+	}
+}

@@ -18,8 +18,12 @@ import (
 // answer one contour probe per candidate. PC-child valuations are
 // computed exactly from adjacency — §4.4's first strategy, required
 // anyway under negation.
+// With the planner on (plan.go) the iteration follows the planner's
+// children-before-parents order instead of the fixed post-order, and
+// conjunctive nodes may run the multiway intersection kernel
+// (multiway.go) when the cost model prefers it; both are exact.
 func (ec *evalContext) pruneDownward(q *core.Query) {
-	for _, u := range q.PostOrder() {
+	for _, u := range ec.planOrder {
 		if ec.cancelled() {
 			return
 		}
@@ -27,6 +31,33 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 		if len(n.Children) == 0 {
 			ec.setMatSet(u, ec.mat[u])
 			continue
+		}
+		if ec.plan != nil && !ec.opt.NoContours {
+			if ad, pc, ok := ec.multiwayEligible(q, u); ok {
+				if !q.Fext(u).Eval(func(int) bool { return true }) {
+					// Unsatisfiable extension formula (contains False):
+					// no candidate can survive.
+					ec.mat[u] = ec.mat[u][:0]
+					ec.setMatSet(u, ec.mat[u])
+					ec.plan.Nodes[u].Kernel = KernelMultiway
+					continue
+				}
+				adCands, pcCands := 0, 0
+				for _, c := range ad {
+					adCands += len(ec.mat[c])
+				}
+				for _, c := range pc {
+					pcCands += len(ec.mat[c])
+				}
+				if ec.multiwayDownBeatsPaper(len(ec.mat[u]), adCands, pcCands, len(ad), len(pc), ec.g.N(), ec.g.M()) {
+					ec.plan.Nodes[u].Kernel = KernelMultiway
+					ec.pruneDownMultiway(u, ad, pc)
+					if ec.cancelled() {
+						return
+					}
+					continue
+				}
+			}
 		}
 		adKids, pcKids := ec.adKids[:0], ec.pcKids[:0]
 		for _, c := range n.Children {
@@ -77,7 +108,7 @@ func (ec *evalContext) pruneDownward(q *core.Query) {
 				if ec.tick() {
 					return
 				}
-				ec.stat.Input++
+				ec.stat.PruneInput++
 				// PC children: exact adjacency, never inherited.
 				for _, c := range pcKids {
 					val[c] = false
@@ -170,10 +201,36 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 		if !prime[u] || len(ec.mat[u]) == 0 {
 			continue
 		}
+		// With the planner on, AD prime children may all be filtered
+		// against one shared successor BFS of mat[u] instead of
+		// per-candidate contour probes (multiway.go); upward semantics
+		// carry no negation, so the swap is always exact.
+		multiAD := false
+		if ec.plan != nil && !ec.opt.NoContours {
+			adKids := ec.adKids[:0]
+			adCands := 0
+			for _, c := range q.Nodes[u].Children {
+				if prime[c] && q.Nodes[c].PEdge != core.PC {
+					adKids = append(adKids, c)
+					adCands += len(ec.mat[c])
+				}
+			}
+			ec.adKids = adKids
+			if len(adKids) > 0 && ec.multiwayUpBeatsPaper(len(ec.mat[u]), adCands, len(adKids), ec.g.N(), ec.g.M()) {
+				multiAD = true
+				ec.pruneUpMultiway(u, adKids)
+				if ec.cancelled() {
+					return
+				}
+			}
+		}
 		var cs *reach.Contour     // chain successor contour of mat[u], lazy
 		var gcs reach.SuccContour // generic successor contour, lazy
 		for _, c := range q.Nodes[u].Children {
 			if !prime[c] {
+				continue
+			}
+			if multiAD && q.Nodes[c].PEdge != core.PC {
 				continue
 			}
 			if q.Nodes[c].PEdge == core.PC {
@@ -182,7 +239,7 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					if ec.tick() {
 						return
 					}
-					ec.stat.Input++
+					ec.stat.PruneInput++
 					for _, w := range ec.g.In(v) {
 						if ec.matSet[u].Has(w) {
 							keep = append(keep, v)
@@ -200,7 +257,7 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					if ec.tick() {
 						return
 					}
-					ec.stat.Input++
+					ec.stat.PruneInput++
 					for _, w := range ec.mat[u] {
 						if ec.h.ReachesSt(w, v, &ec.rst) {
 							keep = append(keep, v)
@@ -223,7 +280,7 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					if ec.tick() {
 						return
 					}
-					ec.stat.Input++
+					ec.stat.PruneInput++
 					if gcs.ReachesNode(v, &ec.rst) {
 						keep = append(keep, v)
 					}
@@ -246,7 +303,7 @@ func (ec *evalContext) pruneUpward(q *core.Query, prime map[int]bool) {
 					if ec.tick() {
 						return
 					}
-					ec.stat.Input++
+					ec.stat.PruneInput++
 					if reached {
 						keep = append(keep, v)
 						continue

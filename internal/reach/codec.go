@@ -240,7 +240,7 @@ func unmarshalTC(g *graph.Graph, data []byte) (ContourIndex, error) {
 	if len(rest) != n*words*8 {
 		return nil, fmt.Errorf("reach: tc snapshot has %d row bytes, want %d", len(rest), n*words*8)
 	}
-	t := &TC{cond: cond, words: words, rows: make([]uint64, n*words)}
+	t := &TC{g: g, cond: cond, words: words, rows: make([]uint64, n*words)}
 	for i := range t.rows {
 		t.rows[i] = binary.LittleEndian.Uint64(rest[i*8:])
 	}

@@ -61,6 +61,12 @@ type ContourIndex interface {
 	// SuccContour summarizes S for "does some element of S strictly
 	// reach v?" probes (the merged complete successor list of S).
 	SuccContour(S []graph.NodeID, st *Stats) SuccContour
+	// LabelCount returns the number of graph nodes carrying the primary
+	// label — the cardinality summary behind the planner's candidate
+	// estimates and the server's cost-based admission. Zero for labels
+	// absent from the graph; no lookup is charged (it reads a
+	// precomputed histogram, not the index).
+	LabelCount(label string) int
 }
 
 // PredContour is the backend-opaque predecessor summary of a node set S.

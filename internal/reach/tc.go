@@ -17,6 +17,7 @@ import (
 // Like ThreeHop, a built TC is immutable; the *Stats-sink methods are
 // safe for concurrent use.
 type TC struct {
+	g     *graph.Graph
 	cond  *graph.Condensation
 	words int
 	rows  []uint64 // NumSCC() rows of `words` words; bit w set in row s iff s reaches w (s != w)
@@ -52,7 +53,7 @@ func NewTCWith(g *graph.Graph, opt BuildOptions) (*TC, error) {
 		return nil, fmt.Errorf("reach: TC limited to %d SCCs, graph has %d", tcLimit, n)
 	}
 	words := (n + 63) / 64
-	t := &TC{cond: cond, words: words, rows: make([]uint64, n*words)}
+	t := &TC{g: g, cond: cond, words: words, rows: make([]uint64, n*words)}
 	step := func(s int32) {
 		row := t.row(s)
 		for _, w := range cond.Out[s] {
@@ -83,6 +84,9 @@ func (t *TC) row(s int32) []uint64 {
 
 // Kind returns the registry name of this backend.
 func (t *TC) Kind() string { return "tc" }
+
+// LabelCount implements ContourIndex via the graph's label index.
+func (t *TC) LabelCount(label string) int { return len(t.g.ByLabel(label)) }
 
 // IndexSize returns the number of set closure bits (computed once,
 // lazily).

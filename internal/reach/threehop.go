@@ -255,6 +255,9 @@ func (h *ThreeHop) NumChains() int { return len(h.chains) }
 // Kind returns the registry name of this backend.
 func (h *ThreeHop) Kind() string { return "threehop" }
 
+// LabelCount implements ContourIndex via the graph's label index.
+func (h *ThreeHop) LabelCount(label string) int { return len(h.g.ByLabel(label)) }
+
 // IndexSize returns the total number of Lin/Lout entries — the paper's
 // |Lin| + |Lout| measure.
 func (h *ThreeHop) IndexSize() int {

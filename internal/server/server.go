@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,12 @@ type Config struct {
 	// /update); 0 disables auto-compaction — deltas accumulate until an
 	// explicit fold (gtpq-compact).
 	CompactAfter int
+	// CostQuota rejects a query with 429 (plus an X-GTPQ-Cost header)
+	// when its estimated evaluation cost — the summed per-node candidate
+	// estimates from the dataset's cardinality summary — exceeds this
+	// value. The check runs before the query takes a worker slot; cache
+	// hits are unaffected. 0 disables cost-based admission.
+	CostQuota int64
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +111,8 @@ type Server struct {
 	requests        atomic.Int64
 	queries         atomic.Int64
 	rejected        atomic.Int64
+	costRejected    atomic.Int64
+	costRejectedBy  sync.Map // dataset name -> *atomic.Int64
 	timeouts        atomic.Int64
 	failures        atomic.Int64
 	rows            atomic.Int64
@@ -148,6 +157,27 @@ func (s *Server) Handler() http.Handler {
 
 // errOverloaded is the admission-control rejection.
 var errOverloaded = errors.New("server overloaded: worker pool and queue full")
+
+// costPrefix opens every cost-rejection message; errorStatus keys the
+// 429 mapping off it (the estimate and quota vary per rejection).
+const costPrefix = "estimated cost "
+
+// errCostExceeded is the estimate-driven admission rejection.
+type errCostExceeded struct{ est, quota int64 }
+
+func (e errCostExceeded) Error() string {
+	return fmt.Sprintf("%s%d exceeds dataset quota %d", costPrefix, e.est, e.quota)
+}
+
+// costRejectFor returns (creating on first use) the named dataset's
+// cost-rejection counter.
+func (s *Server) costRejectFor(name string) *atomic.Int64 {
+	if v, ok := s.costRejectedBy.Load(name); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := s.costRejectedBy.LoadOrStore(name, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
 
 // admit claims a worker slot, waiting at most until ctx's deadline and
 // only if the wait queue has room.
@@ -224,11 +254,22 @@ type queryResult struct {
 	// entry sharing another entry's evaluation.
 	Cached bool         `json:"cached"`
 	Stats  *resultStats `json:"stats,omitempty"`
-	Error  string       `json:"error,omitempty"`
+	// CostEstimate is the admission-time cost estimate (summed per-node
+	// candidate estimates); present whenever the dataset carries a
+	// cardinality summary, including on cost rejections.
+	CostEstimate int64 `json:"cost_estimate,omitempty"`
+	// Plan is the planner's record (chosen order, per-node kernel,
+	// estimated vs actual cardinalities); only populated under ?debug=1
+	// on fresh flat-dataset evaluations (sharded stats aggregate across
+	// shards, whose per-shard plans differ).
+	Plan  *gtea.PlanInfo `json:"plan,omitempty"`
+	Error string         `json:"error,omitempty"`
 }
 
 type resultStats struct {
 	Input        int64   `json:"input"`
+	PruneInput   int64   `json:"prune_input"`
+	EnumInput    int64   `json:"enum_input"`
 	IndexLookups int64   `json:"index_lookups"`
 	Intermediate int64   `json:"intermediate"`
 	Results      int64   `json:"results"`
@@ -301,12 +342,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jobs = append(jobs, job{idx: i, q: q, canon: canon})
 	}
 
+	debug := r.URL.Query().Get("debug") == "1"
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			results[j.idx] = s.evalOne(ctx, ds, j.q, j.canon)
+			results[j.idx] = s.evalOne(ctx, ds, j.q, j.canon, debug)
 		}(j)
 	}
 	wg.Wait()
@@ -322,6 +364,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusOK
 		if results[0].Error != "" {
 			status = errorStatus(results[0].Error)
+		}
+		if results[0].CostEstimate > 0 {
+			w.Header().Set("X-GTPQ-Cost", fmt.Sprintf("%d", results[0].CostEstimate))
 		}
 		writeJSON(w, status, struct {
 			Dataset string `json:"dataset"`
@@ -343,12 +388,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // skips the whole fan-out. Every failure maps to the result's Error
 // field; a failed (e.g. deadline-cancelled) evaluation is never
 // cached.
-func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string) queryResult {
+func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string, debug bool) queryResult {
 	start := time.Now()
+	// Price the query against the dataset's cardinality summary. The
+	// quota check lives inside compute, i.e. on the miss path AFTER the
+	// cache consult but BEFORE admission: an over-quota query never
+	// takes (or waits for) a worker slot, while an already-cached answer
+	// is still served.
+	var est int64 = -1
+	if ds.Card != nil {
+		est = ds.Card.EstimateQuery(q)
+	}
 	// One admission+evaluation path whether or not the cache is on; the
 	// cache merely decides how often it runs.
 	var st gtea.Stats
 	compute := func() (*core.Answer, error) {
+		if s.cfg.CostQuota > 0 && est > s.cfg.CostQuota {
+			s.costRejected.Add(1)
+			s.costRejectFor(ds.Name).Add(1)
+			return nil, errCostExceeded{est: est, quota: s.cfg.CostQuota}
+		}
 		if err := s.admit(ctx); err != nil {
 			return nil, err
 		}
@@ -378,14 +437,25 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.timeouts.Add(1)
 		}
-		return queryResult{Error: err.Error()}
+		res := queryResult{Error: err.Error()}
+		if est > 0 {
+			res.CostEstimate = est
+		}
+		return res
 	}
 	if cached {
 		// Hit or coalesced: no evaluation ran for this caller; report
 		// the result size and how long the cache path took.
 		st = gtea.Stats{Results: int64(len(ans.Tuples))}
 	}
-	return s.buildResult(q, ans, st, start, cached)
+	res := s.buildResult(q, ans, st, start, cached)
+	if est > 0 {
+		res.CostEstimate = est
+	}
+	if debug && !cached {
+		res.Plan = st.Plan
+	}
+	return res
 }
 
 // buildResult renders an answer into the response shape, applying the
@@ -397,6 +467,8 @@ func (s *Server) buildResult(q *core.Query, ans *core.Answer, st gtea.Stats, sta
 		Cached: cached,
 		Stats: &resultStats{
 			Input:        st.Input,
+			PruneInput:   st.PruneInput,
+			EnumInput:    st.EnumInput,
 			IndexLookups: st.Index,
 			Intermediate: st.Intermediate,
 			Results:      st.Results,
@@ -422,6 +494,8 @@ func errorStatus(msg string) int {
 	switch {
 	case msg == errOverloaded.Error():
 		return http.StatusTooManyRequests
+	case strings.HasPrefix(msg, costPrefix):
+		return http.StatusTooManyRequests
 	case msg == context.DeadlineExceeded.Error(), msg == context.Canceled.Error():
 		return http.StatusGatewayTimeout
 	default:
@@ -434,6 +508,9 @@ func errorStatus(msg string) int {
 type datasetInfo struct {
 	catalog.Info
 	Cache *qcache.DatasetStats `json:"cache,omitempty"`
+	// CostRejected counts queries this process rejected against the
+	// dataset under the cost quota (see Config.CostQuota).
+	CostRejected int64 `json:"cost_rejected,omitempty"`
 }
 
 // datasetInfos lists the catalog merged with per-dataset cache stats.
@@ -449,6 +526,9 @@ func (s *Server) datasetInfos() ([]datasetInfo, error) {
 			if cs, ok := s.cache.DatasetStats(info.Name); ok {
 				out[i].Cache = &cs
 			}
+		}
+		if v, ok := s.costRejectedBy.Load(info.Name); ok {
+			out[i].CostRejected = v.(*atomic.Int64).Load()
 		}
 	}
 	return out, nil
@@ -474,6 +554,7 @@ type poolSnapshot struct {
 	Requests        int64 `json:"requests"`
 	Queries         int64 `json:"queries"`
 	Rejected        int64 `json:"rejected"`
+	CostRejected    int64 `json:"cost_rejected"`
 	Timeouts        int64 `json:"timeouts"`
 	Failures        int64 `json:"failures"`
 	Rows            int64 `json:"rows_returned"`
@@ -495,6 +576,7 @@ type poolSnapshot struct {
 func (s *Server) snapshotCounters() poolSnapshot {
 	var snap poolSnapshot
 	snap.Rejected = s.rejected.Load()
+	snap.CostRejected = s.costRejected.Load()
 	snap.Timeouts = s.timeouts.Load()
 	snap.Failures = s.failures.Load()
 	snap.Rows = s.rows.Load()
@@ -540,10 +622,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"max_timeout_ms":     s.cfg.MaxTimeout.Milliseconds(),
 			"cache_bytes":        s.cfg.CacheBytes,
 			"compact_after":      s.cfg.CompactAfter,
+			"cost_quota":         s.cfg.CostQuota,
 		},
 		"requests":         snap.Requests,
 		"queries":          snap.Queries,
 		"rejected":         snap.Rejected,
+		"cost_rejected":    snap.CostRejected,
 		"timeouts":         snap.Timeouts,
 		"failures":         snap.Failures,
 		"rows_returned":    snap.Rows,

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,9 @@ type Options struct {
 	// Workers bounds the scatter-gather fan-out per evaluation
 	// (default GOMAXPROCS, clamped to the shard count).
 	Workers int
+	// NoPlan disables the cost-based planner in every per-shard engine
+	// (gtea.Options.NoPlan).
+	NoPlan bool
 }
 
 // shardUnit is one shard at runtime: a regular GTEA engine over the
@@ -47,6 +51,11 @@ type ShardedEngine struct {
 	totalEdges int
 	replicated int
 	shards     []*shardUnit
+
+	// Lazily built logical label histogram (replicated vertices counted
+	// once), behind ContourIndex.LabelCount on the composite index.
+	labelOnce sync.Once
+	labelCt   map[string]int
 }
 
 // NewEngine builds a sharded engine in memory from a graph and a plan:
@@ -63,7 +72,7 @@ func NewEngine(g *graph.Graph, plan *Plan, opt Options) (*ShardedEngine, error) 
 	}
 	for _, part := range plan.Parts {
 		sg := Subgraph(g, part)
-		eng, err := gtea.NewWithOptions(sg, gtea.Options{Index: opt.Index, Parallel: opt.Parallel})
+		eng, err := gtea.NewWithOptions(sg, gtea.Options{Index: opt.Index, Parallel: opt.Parallel, NoPlan: opt.NoPlan})
 		if err != nil {
 			return nil, err
 		}
@@ -102,6 +111,40 @@ func (se *ShardedEngine) IndexSize() int {
 		total += u.eng.IndexSize()
 	}
 	return total
+}
+
+// labelHist lazily builds the logical label histogram: vertices
+// replicated into several shards count once (their first residence is
+// authoritative, as in Union).
+func (se *ShardedEngine) labelHist() map[string]int {
+	se.labelOnce.Do(func() {
+		se.labelCt = make(map[string]int)
+		present := make([]bool, se.totalNodes)
+		for _, u := range se.shards {
+			for lv, gv := range u.globals {
+				if present[gv] {
+					continue
+				}
+				present[gv] = true
+				se.labelCt[u.eng.G.Label(graph.NodeID(lv))]++
+			}
+		}
+	})
+	return se.labelCt
+}
+
+// LabelCount returns the number of logical vertices carrying label.
+func (se *ShardedEngine) LabelCount(label string) int { return se.labelHist()[label] }
+
+// Labels returns the distinct labels of the logical graph, sorted.
+func (se *ShardedEngine) Labels() []string {
+	hist := se.labelHist()
+	out := make([]string, 0, len(hist))
+	for l := range hist {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TotalNodes returns the logical (unsharded) node count.
@@ -212,9 +255,12 @@ func (se *ShardedEngine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core
 	var firstErr error
 	for _, r := range results {
 		agg.Input += r.st.Input
+		agg.PruneInput += r.st.PruneInput
+		agg.EnumInput += r.st.EnumInput
 		agg.Index += r.st.Index
 		agg.Intermediate += r.st.Intermediate
 		agg.PruneTime += r.st.PruneTime
+		// agg.Plan stays nil: per-shard plans differ and don't aggregate.
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
 		}

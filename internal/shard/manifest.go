@@ -148,6 +148,8 @@ func WriteDir(dir, name string, g *graph.Graph, plan *Plan, opt Options) (*Manif
 type LoadOptions struct {
 	// Workers bounds scatter-gather fan-out (default GOMAXPROCS).
 	Workers int
+	// NoPlan disables the cost-based planner in every per-shard engine.
+	NoPlan bool
 }
 
 // LoadDir verifies and loads a sharded dataset directory written by
@@ -248,7 +250,8 @@ func LoadDir(dir string, opt LoadOptions) (*ShardedEngine, *Manifest, error) {
 		}
 		copies += len(globals)
 		edgeSum += sg.M()
-		se.shards = append(se.shards, &shardUnit{eng: gtea.NewWithIndex(sg, h), globals: globals})
+		eng := gtea.NewWithIndexOptions(sg, h, gtea.Options{NoPlan: opt.NoPlan})
+		se.shards = append(se.shards, &shardUnit{eng: eng, globals: globals})
 	}
 	for gv, ok := range covered {
 		if !ok {

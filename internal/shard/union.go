@@ -123,6 +123,8 @@ func (ci *compositeIndex) Kind() string { return ci.kind }
 
 func (ci *compositeIndex) IndexSize() int { return ci.se.IndexSize() }
 
+func (ci *compositeIndex) LabelCount(label string) int { return ci.se.LabelCount(label) }
+
 func (ci *compositeIndex) Stats() *reach.Stats { return &ci.stats }
 
 func (ci *compositeIndex) Reaches(u, v graph.NodeID) bool {
