@@ -29,6 +29,8 @@
 //	POST /update    {"dataset":"d","nodes":[{"label":"a"}],"edges":[{"from":0,"to":9}]}
 //	GET  /datasets
 //	GET  /stats
+//	GET  /metrics          Prometheus text exposition
+//	GET  /debug/slowlog    slow-query ring (see -slowlog-ms)
 //	GET  /healthz
 //
 // Datasets are live-mutable: POST /update appends vertices and edges,
@@ -45,6 +47,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +78,11 @@ func main() {
 		compactN  = flag.Int("compact-after", 0, "fold a dataset's delta log into a fresh snapshot once this many mutations are pending (0: never auto-compact)")
 		plan      = flag.String("plan", "on", "cost-based pruning order + multiway kernels: on or off (off restores the paper's fixed post-order)")
 		costQuota = flag.Int64("cost-quota", 0, "reject queries whose estimated candidate cost exceeds this before admission (0: no limit)")
+		slowMS    = flag.Int64("slowlog-ms", 250, "record queries at least this slow (with per-stage trace timings) in GET /debug/slowlog (0: disable)")
+		slowSize  = flag.Int("slowlog-size", 128, "slow-query ring capacity")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty: disabled)")
+		logFormat = flag.String("log-format", "text", "request logging: text (startup logs only) or json (one structured line per request on stderr)")
+		logSample = flag.Int("log-sample", 1, "with -log-format=json, log every Nth request")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -133,16 +141,47 @@ func main() {
 		}
 	}
 
-	srv := server.New(cat, server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTime,
-		MaxRows:        *maxRows,
-		CacheBytes:     *cacheB,
-		CompactAfter:   *compactN,
-		CostQuota:      *costQuota,
-	})
+	cfg := server.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTime,
+		MaxRows:          *maxRows,
+		CacheBytes:       *cacheB,
+		CompactAfter:     *compactN,
+		CostQuota:        *costQuota,
+		SlowLogThreshold: time.Duration(*slowMS) * time.Millisecond,
+		SlowLogSize:      *slowSize,
+		AccessLogSample:  *logSample,
+	}
+	switch *logFormat {
+	case "text", "":
+	case "json":
+		cfg.AccessLog = os.Stderr
+	default:
+		log.Fatalf("invalid -log-format value %q (want text or json)", *logFormat)
+	}
+	srv := server.New(cat, cfg)
+
+	if *pprofAddr != "" {
+		// pprof stays off the API listener: profiling endpoints expose
+		// internals and should bind somewhere tighter (localhost, an
+		// ops-only interface). Handlers are mounted explicitly — the
+		// blank import would register on DefaultServeMux, which the API
+		// server never serves.
+		go func() {
+			pm := http.NewServeMux()
+			pm.HandleFunc("/debug/pprof/", pprof.Index)
+			pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

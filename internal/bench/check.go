@@ -23,7 +23,7 @@ func nsDur(ns int64) time.Duration { return time.Duration(ns) }
 // JSON but not gated.
 
 // gatedExperiments are the record kinds the regression gate compares.
-var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true}
+var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true}
 
 // A record must additionally clear an absolute noise floor to count
 // as a regression: sub-millisecond records swing several-fold on a
@@ -57,6 +57,7 @@ type checkKey struct {
 	CacheMode  string
 	Pending    int
 	PlanMode   string
+	ObsMode    string
 }
 
 func keyOf(r Record) checkKey {
@@ -69,6 +70,7 @@ func keyOf(r Record) checkKey {
 		CacheMode:  r.CacheMode,
 		Pending:    r.PendingDeltas,
 		PlanMode:   r.PlanMode,
+		ObsMode:    r.ObsMode,
 	}
 }
 
@@ -91,6 +93,9 @@ func (k checkKey) String() string {
 	}
 	if k.PlanMode != "" {
 		s += "/plan=" + k.PlanMode
+	}
+	if k.ObsMode != "" {
+		s += "/obs=" + k.ObsMode
 	}
 	return s
 }

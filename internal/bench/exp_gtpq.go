@@ -224,4 +224,6 @@ func (r *Runner) All() {
 	r.Delta()
 	r.printf("\n")
 	r.Planning()
+	r.printf("\n")
+	r.Observability()
 }

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"gtpq/internal/gtea"
+	"gtpq/internal/obs"
+)
+
+// The obs experiment prices the observability layer on the serving hot
+// path: the pair workload evaluated bare versus with the full
+// per-query metrics work the server does (latency histogram Observe
+// plus the per-eval counter adds). Tracing is not measured here — it
+// is opt-in per query (?debug=1 or a slowlog crosser) and off on the
+// hot path, where its entire cost is one nil context lookup. CI gates
+// the instrumented mode against the baseline like any other latency
+// record; the acceptance target is <2% overhead.
+
+// obsEvals is how many evaluations each mode averages over.
+const obsEvals = 50
+
+// obsModes name the two measurement modes.
+var obsModes = []string{"off", "on"}
+
+// obsSweep runs the pair query obsEvals times and returns the average
+// latency. With metrics on, every evaluation pays exactly what the
+// server's query path pays per query: one histogram Observe and three
+// counter adds.
+func (r *Runner) obsSweep(e *gtea.Engine, mode string) (time.Duration, int64) {
+	q := shardQueries()[1] // pair
+	ctx := context.Background()
+
+	var hist *obs.Histogram
+	var queries, rows, lookups *obs.Counter
+	if mode == "on" {
+		reg := obs.NewRegistry()
+		hist = reg.HistogramVec("gtpq_query_seconds", "", obs.DefLatencyBuckets, "dataset", "index").
+			With("bench", e.H.Kind())
+		queries = reg.Counter("gtpq_queries_total", "")
+		rows = reg.Counter("gtpq_rows_returned_total", "")
+		lookups = reg.Counter("gtpq_index_lookups_total", "")
+	}
+
+	e.Eval(q) // warm up
+	var total time.Duration
+	var results int64
+	for i := 0; i < obsEvals; i++ {
+		t0 := time.Now()
+		ans, st, err := e.EvalStatsCtx(ctx, q)
+		d := time.Since(t0)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		if mode == "on" {
+			hist.Observe(d.Seconds())
+			queries.Inc()
+			rows.Add(int64(ans.Len()))
+			lookups.Add(st.Index)
+		}
+		total += d
+		results = int64(ans.Len())
+	}
+	return total / obsEvals, results
+}
+
+// Observability prints the metrics-on vs metrics-off comparison on the
+// pair workload, with the measured overhead.
+func (r *Runner) Observability() {
+	g := r.ShardGraph()
+	e := r.GTEA(g)
+	r.printf("== Observability: per-query metrics cost (histogram + counters), pair workload, %d nodes / %d edges ==\n",
+		g.N(), g.M())
+	r.printf("%-8s %12s %10s\n", "metrics", "avg/eval", "results")
+	var off, on time.Duration
+	for _, mode := range obsModes {
+		avg, results := r.obsSweep(e, mode)
+		if mode == "off" {
+			off = avg
+		} else {
+			on = avg
+		}
+		r.printf("%-8s %12s %10d\n", mode, fmtDur(avg), results)
+	}
+	r.printf("overhead: %+.2f%% (acceptance <2%%)\n", 100*(float64(on)/float64(off)-1))
+}
+
+// obsRecords emits the machine-readable obs experiment: one record per
+// mode with the averaged pair-workload latency. The regression gate
+// watches both — a slowdown of the instrumented mode relative to its
+// own baseline fails CI just like an engine regression would.
+func (r *Runner) obsRecords() []Record {
+	g := r.ShardGraph()
+	e := r.GTEA(g)
+	var recs []Record
+	for _, mode := range obsModes {
+		avg, results := r.obsSweep(e, mode)
+		recs = append(recs, Record{
+			Experiment: "obs",
+			Kind:       e.H.Kind(),
+			Query:      "pair",
+			Nodes:      g.N(),
+			Edges:      g.M(),
+			ObsMode:    mode,
+			NsPerOp:    avg.Nanoseconds(),
+			Results:    results,
+		})
+	}
+	return recs
+}

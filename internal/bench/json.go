@@ -64,6 +64,11 @@ type Record struct {
 	// Plan experiment field: whether the cost-based planner was on for
 	// the measurement ("on"/"off").
 	PlanMode string `json:"plan_mode,omitempty"`
+
+	// Obs experiment field: whether per-query metrics (latency
+	// histogram + counters) were recorded during the measurement
+	// ("on"/"off").
+	ObsMode string `json:"obs_mode,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -159,6 +164,8 @@ func (r *Runner) JSONRecords() []Record {
 	recs = append(recs, r.deltaRecords()...)
 	// Planner on/off over the skewed-label forest.
 	recs = append(recs, r.planRecords()...)
+	// Metrics on/off overhead on the pair workload.
+	recs = append(recs, r.obsRecords()...)
 	r.jsonRecords = recs
 	return recs
 }

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gtpq/internal/card"
@@ -188,6 +189,12 @@ type Catalog struct {
 	nextGen uint64 // generation counter; ++ per entry created (under mu)
 	dlogs   map[string]*dlog
 	closed  bool
+
+	// loads counts disk loads started (builds, revivals, shard dirs);
+	// reloads counts entries marked stale (source change or explicit
+	// Reload). Both feed the metrics registry (see metrics.go).
+	loads   atomic.Int64
+	reloads atomic.Int64
 }
 
 // entry is the cached (or in-flight) load of one dataset generation.
@@ -368,6 +375,7 @@ func (c *Catalog) Acquire(name string) (*Dataset, error) {
 			if rerr == nil && (e.srcPath != path || !e.srcMod.Equal(mod)) {
 				e.stale = true
 				e.refs-- // drop the cache's own reference
+				c.reloads.Add(1)
 			}
 		default:
 			// Load in flight: join it regardless of on-disk changes.
@@ -424,6 +432,7 @@ func (e *entry) handle() *Dataset {
 // pending batches are layered on as an overlay engine (see delta.go).
 func (e *entry) load(opt Options, kind loadKind) {
 	defer close(e.ready)
+	e.c.loads.Add(1)
 	start := time.Now()
 	switch kind {
 	case loadShard:
@@ -534,6 +543,7 @@ func (c *Catalog) Reload(name string) {
 	defer c.mu.Unlock()
 	if e := c.entries[name]; e != nil && !e.stale {
 		e.stale = true
+		c.reloads.Add(1)
 		select {
 		case <-e.ready:
 			e.refs-- // drop the cache's own reference

@@ -25,6 +25,7 @@ import (
 
 	"gtpq/internal/core"
 	"gtpq/internal/graph"
+	"gtpq/internal/obs"
 	"gtpq/internal/reach"
 )
 
@@ -298,6 +299,10 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 	if ctx != nil && ctx.Done() != nil {
 		ec.ctx = ctx
 	}
+	// Stage spans attach under the context's current span (the server's
+	// trace root, or a shard span in a fan-out); with no trace in ctx
+	// every span call below is a nil no-op.
+	parent := obs.SpanFrom(ctx)
 
 	outs := q.Outputs()
 	ans := core.NewAnswer(outs)
@@ -305,22 +310,34 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 		panic("gtea: query has no output nodes")
 	}
 
+	sp := parent.Start("plan")
 	ec.planQuery(q)
+	sp.End()
+	sp = parent.Start("candidates")
 	ec.initCandidates(q)
+	sp.End()
 
 	pruneStart := time.Now()
+	sp = parent.Start("prune_down")
 	ec.pruneDownward(q)
+	sp.AttrInt("prune_input", ec.stat.PruneInput)
+	sp.End()
 	if ec.err == nil && len(ec.mat[q.Root]) > 0 {
+		sp = parent.Start("prune_up")
 		prime := ec.primeSubtree(q, outs)
 		ec.pruneUpward(q, prime)
+		sp.End()
 		ec.stat.PruneTime = time.Since(pruneStart)
 		if ec.err == nil {
 			// Shrink and enumerate.
+			sp = parent.Start("enumerate")
 			comps, singles := ec.shrink(q, prime, outs)
 			mg := ec.buildMatchingGraph(q, comps)
 			if ec.err == nil {
 				ec.collectAll(q, ans, comps, singles, mg)
 			}
+			sp.AttrInt("intermediate", ec.stat.Intermediate)
+			sp.End()
 		}
 	} else {
 		ec.stat.PruneTime = time.Since(pruneStart)
@@ -330,6 +347,12 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 	ec.stat.Input = ec.stat.PruneInput + ec.stat.EnumInput
 	ec.stat.Index = ec.rst.Lookups
 	ec.stat.TotalTime = time.Since(start)
+	if ec.plan != nil {
+		// Est-vs-actual plan summary, readable straight off a trace or
+		// slowlog entry without the full PlanInfo.
+		parent.Attr("plan", ec.plan.String())
+	}
+	parent.AttrInt("index_lookups", ec.stat.Index)
 	if ec.err != nil {
 		return nil, ec.stat, ec.err
 	}

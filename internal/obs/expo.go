@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The Prometheus text exposition format, version 0.0.4: per family a
+// `# HELP` line, a `# TYPE` line, then one sample line per child (or
+// per bucket/sum/count for histograms). Values are Go shortest-float
+// formatted; label values escape backslash, double-quote, and newline;
+// help text escapes backslash and newline.
+
+// ContentType is the Content-Type of the exposition.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders `{a="1",b="2"}` (empty string for no labels).
+// extraName/extraValue append one more pair (the histogram `le`).
+func writeLabels(b *strings.Builder, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus renders every family in registration order,
+// children in sorted label-value order. Each child's histogram data
+// comes from one Snapshot, so count always equals the +Inf cumulative
+// bucket no matter how hard writers race the scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		collect := f.collect
+		keys := f.sortedChildKeys()
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		if collect != nil {
+			for _, s := range collect() {
+				b.Reset()
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, s.Labels, "", "")
+				fmt.Fprintf(bw, "%s %s\n", b.String(), formatValue(s.Value))
+			}
+			continue
+		}
+		for i, key := range keys {
+			var values []string
+			if len(f.labels) > 0 {
+				values = strings.Split(key, labelSep)
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				b.Reset()
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, values, "", "")
+				fmt.Fprintf(bw, "%s %d\n", b.String(), c.Load())
+			case *Gauge:
+				b.Reset()
+				b.WriteString(f.name)
+				writeLabels(&b, f.labels, values, "", "")
+				fmt.Fprintf(bw, "%s %d\n", b.String(), c.Load())
+			case *Histogram:
+				snap := c.Snapshot()
+				cum := int64(0)
+				for bi, bound := range snap.Bounds {
+					cum += snap.Counts[bi]
+					b.Reset()
+					b.WriteString(f.name)
+					b.WriteString("_bucket")
+					writeLabels(&b, f.labels, values, "le", formatValue(bound))
+					fmt.Fprintf(bw, "%s %d\n", b.String(), cum)
+				}
+				cum += snap.Counts[len(snap.Bounds)]
+				b.Reset()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(&b, f.labels, values, "le", "+Inf")
+				fmt.Fprintf(bw, "%s %d\n", b.String(), cum)
+				b.Reset()
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, f.labels, values, "", "")
+				fmt.Fprintf(bw, "%s %s\n", b.String(), formatValue(snap.Sum))
+				b.Reset()
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, f.labels, values, "", "")
+				fmt.Fprintf(bw, "%s %d\n", b.String(), snap.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// Exposition-grammar validation, used by the format tests (here and in
+// the server's /metrics hammer test). It checks the text-format rules
+// a scraper relies on: line shapes, name grammar, HELP/TYPE ordering,
+// parseable values, and the histogram invariants (buckets cumulative
+// and monotone, +Inf bucket == _count).
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*)?\})? (\S+)$`)
+)
+
+// ValidateExposition checks text read from r against the exposition
+// grammar and invariants above, returning the first violation.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := map[string]string{}   // family name -> TYPE
+	helped := map[string]bool{}    // family name -> HELP seen
+	sampled := map[string]bool{}   // family name -> sample seen
+	counts := map[string]float64{} // histogram child key -> _count value
+	infs := map[string]float64{}   // histogram child key -> +Inf bucket value
+	lastBucket := map[string]float64{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if helped[m[1]] {
+				return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, m[1])
+			}
+			helped[m[1]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			if _, dup := typed[m[1]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, m[1])
+			}
+			if sampled[m[1]] {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, valueStr := m[1], m[3], m[4]
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparseable value %q: %v", lineNo, valueStr, err)
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		sampled[fam] = true
+		if _, ok := typed[fam]; !ok {
+			return fmt.Errorf("line %d: sample for %s before its TYPE", lineNo, fam)
+		}
+		if typed[fam] == "histogram" {
+			// Child identity: the labels minus le.
+			var rest []string
+			var le string
+			for _, kv := range splitLabels(labels) {
+				if strings.HasPrefix(kv, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(kv, `le="`), `"`)
+				} else {
+					rest = append(rest, kv)
+				}
+			}
+			key := fam + "|" + strings.Join(rest, ",")
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le: %q", lineNo, line)
+				}
+				if prev, ok := lastBucket[key]; ok && value < prev {
+					return fmt.Errorf("line %d: non-monotone bucket for %s: %g after %g", lineNo, key, value, prev)
+				}
+				lastBucket[key] = value
+				if le == "+Inf" {
+					infs[key] = value
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = value
+				if inf, ok := infs[key]; !ok {
+					return fmt.Errorf("line %d: %s_count before its +Inf bucket", lineNo, fam)
+				} else if inf != value {
+					return fmt.Errorf("line %d: %s count %g != +Inf bucket %g", lineNo, key, value, inf)
+				}
+			}
+		} else if value < 0 && typed[fam] == "counter" {
+			return fmt.Errorf("line %d: negative counter %s", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key := range infs {
+		if _, ok := counts[key]; !ok {
+			return fmt.Errorf("histogram %s has buckets but no _count", key)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits `a="1",b="2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text rendered for each metric
+// kind — counters, gauges, labeled vectors with escaping, histograms
+// with cumulative buckets, and func-backed families — and validates
+// it against the text-format grammar.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests seen.").Add(42)
+	r.Gauge("in_flight", "Admissions in flight.").Set(3)
+	cv := r.CounterVec("errors_total", "Errors by kind.", "kind")
+	cv.With("parse").Add(2)
+	cv.With(`we"ird\label` + "\n").Inc()
+	h := r.Histogram("latency_seconds", "Query latency.", []float64{0.01, 0.1})
+	// Dyadic values: float addition is exact, so the _sum line is
+	// byte-stable.
+	h.Observe(0.0078125)
+	h.Observe(0.0625)
+	h.Observe(7)
+	r.GaugeFunc("dynamic", "Read at scrape time.", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP requests_total Requests seen.
+# TYPE requests_total counter
+requests_total 42
+# HELP in_flight Admissions in flight.
+# TYPE in_flight gauge
+in_flight 3
+# HELP errors_total Errors by kind.
+# TYPE errors_total counter
+errors_total{kind="parse"} 2
+errors_total{kind="we\"ird\\label\n"} 1
+# HELP latency_seconds Query latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.01"} 1
+latency_seconds_bucket{le="0.1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 7.0703125
+latency_seconds_count 3
+# HELP dynamic Read at scrape time.
+# TYPE dynamic gauge
+dynamic 1.5
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition(strings.NewReader(got)); err != nil {
+		t.Fatalf("grammar: %v", err)
+	}
+}
+
+// TestExpositionHistogramVec covers labeled histograms: per-child
+// bucket/sum/count lines with the le label appended, sorted child
+// order, and grammar validity.
+func TestExpositionHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("query_seconds", "Per-dataset latency.", []float64{0.001, 1}, "dataset", "index")
+	hv.With("beta", "threehop").Observe(0.5)
+	hv.With("alpha", "tc").Observe(0.0001)
+	hv.With("alpha", "tc").Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	if err := ValidateExposition(strings.NewReader(got)); err != nil {
+		t.Fatalf("grammar: %v\n%s", err, got)
+	}
+	// alpha sorts before beta; counts are per-child.
+	wantLines := []string{
+		`query_seconds_bucket{dataset="alpha",index="tc",le="0.001"} 1`,
+		`query_seconds_bucket{dataset="alpha",index="tc",le="+Inf"} 2`,
+		`query_seconds_count{dataset="alpha",index="tc"} 2`,
+		`query_seconds_bucket{dataset="beta",index="threehop",le="1"} 1`,
+		`query_seconds_count{dataset="beta",index="threehop"} 1`,
+	}
+	idx := -1
+	for _, w := range wantLines {
+		i := strings.Index(got, w)
+		if i < 0 {
+			t.Fatalf("missing line %q in:\n%s", w, got)
+		}
+		if i < idx {
+			t.Fatalf("line %q out of order in:\n%s", w, got)
+		}
+		idx = i
+	}
+}
+
+// TestValidateExpositionRejects feeds the validator known-bad inputs:
+// each must be caught.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"malformed sample":  "foo{ 1\n",
+		"bad value":         "# TYPE foo counter\nfoo abc\n",
+		"sample before":     "foo 1\n",
+		"duplicate type":    "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"type after sample": "# TYPE foo counter\nfoo 1\n# TYPE foo gauge\n",
+		"negative counter":  "# TYPE foo counter\nfoo -1\n",
+		"non-monotone buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"count != +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "first")
+	b := r.Counter("x_total", "second registration returns the same child")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(7)
+	if b.Load() != 7 {
+		t.Fatal("counters not shared")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting type did not panic")
+		}
+	}()
+	r.Gauge("x_total", "type conflict")
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "a-b", "a b", "ü"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+	// "le" is reserved on histogram label sets (and rejected everywhere
+	// for simplicity).
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label le accepted")
+			}
+		}()
+		r.CounterVec("ok_total", "", "le")
+	}()
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free:
+// one atomic bucket increment, a CAS-add on the sum, and a sequence
+// bump. Snapshots are consistent by construction — see Snapshot.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is counts[len(bounds)]
+	counts []atomic.Int64
+	// sumBits holds the float64 bit pattern of the running sum of
+	// observed values; updated by CAS so concurrent Observes never lose
+	// an addend.
+	sumBits atomic.Uint64
+	// seq increments after every completed Observe; Snapshot uses it as
+	// a seqlock to detect a racing writer and retry.
+	seq atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value. Bucket semantics follow Prometheus: a
+// value lands in the first bucket whose upper bound is >= v (le =
+// "less than or equal"), values above every bound land in +Inf.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.seq.Add(1)
+}
+
+// HistogramSnapshot is one consistent read of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (+Inf implicit).
+	Bounds []float64
+	// Counts are per-bucket (non-cumulative) observation counts;
+	// Counts[len(Bounds)] is the +Inf overflow bucket.
+	Counts []int64
+	// Count is the total observation count. It equals the sum of Counts
+	// exactly — derived from the same per-bucket reads — so the
+	// Prometheus invariant `_count == +Inf cumulative bucket` can never
+	// be violated by a mid-scrape race.
+	Count int64
+	// Sum is the running sum of observed values.
+	Sum float64
+}
+
+// Snapshot returns a consistent view: it retries the read pass while
+// racing Observes land (bounded), and in all cases derives Count from
+// the bucket counts read in this pass — count/bucket consistency is
+// structural, not timing-dependent. Sum is taken from the same pass;
+// under a persistently racing writer it may trail the buckets by the
+// in-flight observations, never lead them.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{Bounds: h.bounds}
+	for attempt := 0; ; attempt++ {
+		s0 := h.seq.Load()
+		counts := make([]int64, len(h.counts))
+		var total int64
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+			total += counts[i]
+		}
+		sum := math.Float64frombits(h.sumBits.Load())
+		if h.seq.Load() == s0 || attempt == 8 {
+			snap.Counts = counts
+			snap.Count = total
+			snap.Sum = sum
+			return snap
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal
+// to a bucket's upper bound lands in that bucket, epsilon above lands
+// in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	h.Observe(0)                    // -> le=1
+	h.Observe(1)                    // boundary: -> le=1
+	h.Observe(math.Nextafter(1, 2)) // -> le=2
+	h.Observe(2)                    // boundary: -> le=2
+	h.Observe(5)                    // boundary: -> le=5
+	snap := h.Snapshot()
+	want := []int64{2, 2, 1, 0}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 5 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if snap.Sum != 0+1+math.Nextafter(1, 2)+2+5 {
+		t.Fatalf("sum = %g", snap.Sum)
+	}
+}
+
+// TestHistogramOverflow pins the +Inf bucket: values above every bound
+// count only there, and the exposition's cumulative +Inf equals count.
+func TestHistogramOverflow(t *testing.T) {
+	h := newHistogram([]float64{0.5})
+	h.Observe(0.4)
+	h.Observe(100)
+	h.Observe(1e9)
+	snap := h.Snapshot()
+	if snap.Counts[0] != 1 || snap.Counts[1] != 2 {
+		t.Fatalf("counts = %v", snap.Counts)
+	}
+	if snap.Count != 3 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	cum := snap.Counts[0] + snap.Counts[1]
+	if cum != snap.Count {
+		t.Fatalf("+Inf cumulative %d != count %d", cum, snap.Count)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe from many goroutines
+// (run under -race in CI) and checks nothing is lost: total count,
+// bucket totals, and sum all add up exactly.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DefLatencyBuckets)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Spread across buckets deterministically; every value is a
+				// small power-of-two multiple so float addition is exact and
+				// the sum check can be precise.
+				h.Observe(float64(i%1024) / 1024)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must stay internally consistent while
+	// writers race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			snap := h.Snapshot()
+			var total int64
+			for _, c := range snap.Counts {
+				total += c
+			}
+			if total != snap.Count {
+				t.Errorf("mid-race snapshot: bucket total %d != count %d", total, snap.Count)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	var wantSum float64
+	for i := 0; i < perWorker; i++ {
+		wantSum += float64(i%1024) / 1024
+	}
+	wantSum *= workers
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v: no panic", bounds)
+				}
+			}()
+			NewRegistry().Histogram("h", "", bounds)
+		}()
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLog is a bounded, mutex-guarded ring of the slowest-query
+// evidence an operator needs after the fact: what ran, how long each
+// stage took, and the cache/generation context it ran under. The ring
+// overwrites oldest-first; Entries returns newest-first.
+type SlowLog struct {
+	mu      sync.Mutex
+	ring    []SlowEntry
+	next    int
+	filled  bool
+	dropped int64
+	total   int64
+}
+
+// SlowEntry is one logged slow query.
+type SlowEntry struct {
+	Time time.Time `json:"time"`
+	// RequestID is the X-GTPQ-Request-ID the query ran under.
+	RequestID string `json:"request_id,omitempty"`
+	Dataset   string `json:"dataset"`
+	// Query is the canonical query text (the result-cache key form).
+	Query string `json:"query"`
+	// Index is the reachability backend, Generation the catalog
+	// generation the evaluation keyed on.
+	Index      string `json:"index,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+	// Cached reports the answer came without a fresh evaluation.
+	Cached bool `json:"cached,omitempty"`
+	// CostEstimate is the admission-time estimate (0 when unpriced).
+	CostEstimate int64   `json:"cost_estimate,omitempty"`
+	Millis       float64 `json:"ms"`
+	Rows         int64   `json:"rows"`
+	Error        string  `json:"error,omitempty"`
+	// Plan is the planner's one-line summary (order, kernels, est vs
+	// actual candidates).
+	Plan string `json:"plan,omitempty"`
+	// Stages are the flattened trace stage timings.
+	Stages []Stage `json:"stages,omitempty"`
+}
+
+// NewSlowLog returns a ring holding the most recent size entries
+// (minimum 1).
+func NewSlowLog(size int) *SlowLog {
+	if size < 1 {
+		size = 1
+	}
+	return &SlowLog{ring: make([]SlowEntry, size)}
+}
+
+// Add records one entry, overwriting the oldest when full.
+func (l *SlowLog) Add(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filled {
+		l.dropped++
+	}
+	l.ring[l.next] = e
+	l.next++
+	l.total++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Entries returns the logged entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.filled {
+		n = len(l.ring)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.ring)
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Total counts every Add since creation; Dropped how many were
+// overwritten.
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped counts entries the ring has overwritten.
+func (l *SlowLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}

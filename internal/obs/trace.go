@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-query tracing: a Trace is a mutex-guarded span tree created per
+// request and threaded through the evaluation path via context, so
+// layers that never see each other (server admission, cache, planner,
+// pruning rounds, shard fan-out, delta overlay) each attach their
+// stage without new plumbing in the engine interfaces.
+//
+// Every method is nil-receiver safe and no-ops on nil, so
+// instrumented code reads straight-line:
+//
+//	sp := obs.TraceFrom(ctx).Start("prune_down")
+//	... work ...
+//	sp.End()
+//
+// With no trace in ctx the whole chain costs one context lookup.
+
+// Trace is one request's span tree. One mutex guards the whole tree:
+// spans are few (tens per query) and short-lived, so contention is
+// not a concern, while shard fan-out workers can attach spans from
+// their own goroutines safely.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+func lock(t *Trace)   { t.mu.Lock() }
+func unlock(t *Trace) { t.mu.Unlock() }
+
+// Span is one timed stage, possibly with attributes and children.
+// Fields are exported for JSON rendering only; mutate through the
+// methods (they take the trace lock).
+type Span struct {
+	Name string `json:"name"`
+	// StartMs is the span's start offset from the trace root, Millis
+	// its duration (set by End; -1 while open).
+	StartMs  float64           `json:"start_ms"`
+	Millis   float64           `json:"ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
+
+	tr    *Trace
+	start time.Time
+}
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{Name: name, Millis: -1, tr: t, start: time.Now()}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start opens a child span of the root.
+func (t *Trace) Start(name string) *Span {
+	return t.Root().Start(name)
+}
+
+// Finish ends the root span.
+func (t *Trace) Finish() { t.Root().End() }
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	c := &Span{
+		Name:    name,
+		StartMs: ms(now.Sub(s.tr.root.start)),
+		Millis:  -1,
+		tr:      s.tr,
+		start:   now,
+	}
+	lock(s.tr)
+	s.Children = append(s.Children, c)
+	unlock(s.tr)
+	return c
+}
+
+// End closes the span, fixing its duration. Idempotent (the second
+// End keeps the first duration).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	lock(s.tr)
+	if s.Millis < 0 {
+		s.Millis = ms(time.Since(s.start))
+	}
+	unlock(s.tr)
+}
+
+// Attr attaches a key/value attribute.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	lock(s.tr)
+	if s.Attrs == nil {
+		s.Attrs = map[string]string{}
+	}
+	s.Attrs[key] = value
+	unlock(s.tr)
+}
+
+// AttrInt attaches an integer attribute.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attr(key, itoa(v))
+}
+
+// Snapshot deep-copies the span tree, safe to marshal or keep while
+// other goroutines still append spans.
+func (t *Trace) Snapshot() *Span {
+	if t == nil {
+		return nil
+	}
+	lock(t)
+	defer unlock(t)
+	return t.root.clone()
+}
+
+func (s *Span) clone() *Span {
+	c := &Span{Name: s.Name, StartMs: s.StartMs, Millis: s.Millis}
+	if len(s.Attrs) > 0 {
+		c.Attrs = make(map[string]string, len(s.Attrs))
+		for k, v := range s.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	for _, ch := range s.Children {
+		c.Children = append(c.Children, ch.clone())
+	}
+	return c
+}
+
+// Stage is one flattened trace stage for compact rendering (slow-query
+// log entries).
+type Stage struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"ms"`
+}
+
+// Stages flattens the tree into dotted-path stages, children after
+// parents, sorted by start offset within each level. Open spans report
+// their duration so far.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	snap := t.Snapshot()
+	var out []Stage
+	var walk func(prefix string, s *Span)
+	walk = func(prefix string, s *Span) {
+		name := s.Name
+		if prefix != "" {
+			name = prefix + "." + name
+		}
+		d := s.Millis
+		if d < 0 {
+			d = ms(time.Since(t.root.start))
+		}
+		out = append(out, Stage{Name: name, Millis: d})
+		kids := append([]*Span(nil), s.Children...)
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartMs < kids[j].StartMs })
+		for _, c := range kids {
+			walk(name, c)
+		}
+	}
+	// The root's own name prefixes nothing: stages read "plan",
+	// "prune_down", not "query.plan".
+	rootSnap := snap
+	kids := append([]*Span(nil), rootSnap.Children...)
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartMs < kids[j].StartMs })
+	for _, c := range kids {
+		walk("", c)
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func itoa(v int64) string {
+	// Tiny wrapper so trace call sites don't import strconv.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [21]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Context plumbing.
+
+type traceKey struct{}
+
+// ContextWithTrace returns ctx carrying t.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx with s as the current parent span:
+// SpanFrom-instrumented code downstream nests under it (the shard
+// fan-out uses this so each shard's engine stages land under that
+// shard's span). A nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the current parent span: the span set by
+// ContextWithSpan if any, else the root of the context's trace, else
+// nil. Instrumented code hangs its stages off whatever this returns.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	if s, _ := ctx.Value(spanKey{}).(*Span); s != nil {
+		return s
+	}
+	return TraceFrom(ctx).Root()
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceNilSafety: every method chain must no-op on a nil trace —
+// the whole point is that instrumented code never branches.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.Attr("k", "v")
+	sp.AttrInt("n", 7)
+	sp2 := sp.Start("y")
+	sp2.End()
+	sp.End()
+	tr.Finish()
+	if tr.Root() != nil || tr.Snapshot() != nil || tr.Stages() != nil {
+		t.Fatal("nil trace leaked non-nil views")
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(Background) = %v", got)
+	}
+	if got := TraceFrom(nil); got != nil { //lint:ignore SA1012 nil ctx tolerance is the contract under test
+		t.Fatalf("TraceFrom(nil) = %v", got)
+	}
+}
+
+func TestTraceTreeAndStages(t *testing.T) {
+	tr := NewTrace("query")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("context round-trip failed")
+	}
+
+	a := tr.Start("plan")
+	a.AttrInt("nodes", 3)
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := tr.Start("prune")
+	c := b.Start("down")
+	c.End()
+	b.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.Name != "query" || len(snap.Children) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Children[0].Attrs["nodes"] != "3" {
+		t.Fatalf("attrs = %v", snap.Children[0].Attrs)
+	}
+	if snap.Children[0].Millis <= 0 {
+		t.Fatalf("plan span duration %v", snap.Children[0].Millis)
+	}
+	// Snapshot is a deep copy: mutating it must not touch the trace.
+	snap.Children[0].Name = "mutated"
+	if tr.Root().Children[0].Name != "plan" {
+		t.Fatal("snapshot aliases the live tree")
+	}
+
+	stages := tr.Stages()
+	names := make([]string, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name
+	}
+	want := []string{"plan", "prune", "prune.down"}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", names, want)
+		}
+	}
+
+	// The tree must be JSON-marshalable (the ?debug=1 shape).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceConcurrentSpans attaches spans from many goroutines (the
+// shard fan-out shape); run under -race.
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("scatter")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Start("shard")
+			sp.AttrInt("i", int64(i))
+			sp.End()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Snapshot()
+			tr.Stages()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(tr.Snapshot().Children); got != 16 {
+		t.Fatalf("children = %d", got)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowEntry{Dataset: string(rune('a' + i))})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if got[i].Dataset != want {
+			t.Fatalf("entries[%d] = %q, want %q", i, got[i].Dataset, want)
+		}
+	}
+	if l.Total() != 5 || l.Dropped() != 2 {
+		t.Fatalf("total=%d dropped=%d", l.Total(), l.Dropped())
+	}
+}

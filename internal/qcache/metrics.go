@@ -1,0 +1,56 @@
+package qcache
+
+import (
+	"sort"
+
+	"gtpq/internal/obs"
+)
+
+// Register exposes the cache counters on reg as func-backed families:
+// the cache keeps its atomics (the hot path stays untouched) and the
+// registry reads through them at scrape time. Per-dataset families
+// emit one sample per dataset ever looked up, sorted by name.
+func (c *Cache) Register(reg *obs.Registry) {
+	reg.CounterFunc("gtpq_cache_hits_total", "Result-cache hits.",
+		func() float64 { return float64(c.hits.Load()) })
+	reg.CounterFunc("gtpq_cache_misses_total", "Result-cache misses (coalesced misses included).",
+		func() float64 { return float64(c.misses.Load()) })
+	reg.CounterFunc("gtpq_cache_evals_total", "Evaluations the cache actually ran (miss leaders).",
+		func() float64 { return float64(c.evals.Load()) })
+	reg.CounterFunc("gtpq_cache_coalesced_total", "Misses served by joining an in-flight evaluation.",
+		func() float64 { return float64(c.coalesced.Load()) })
+	reg.CounterFunc("gtpq_cache_evictions_total", "Entries evicted under byte pressure.",
+		func() float64 { return float64(c.evictions.Load()) })
+	reg.GaugeFunc("gtpq_cache_entries", "Entries currently cached.",
+		func() float64 { return float64(c.entries.Load()) })
+	reg.GaugeFunc("gtpq_cache_bytes", "Bytes of cached answers.",
+		func() float64 { return float64(c.bytes.Load()) })
+	reg.GaugeFunc("gtpq_cache_max_bytes", "Configured cache byte budget.",
+		func() float64 { return float64(c.maxBytes) })
+	labels := []string{"dataset"}
+	reg.CollectFunc("gtpq_cache_dataset_hits_total", "Result-cache hits by dataset.",
+		obs.TypeCounter, labels, c.perDataset(func(d *dsCount) int64 { return d.hits.Load() }))
+	reg.CollectFunc("gtpq_cache_dataset_misses_total", "Result-cache misses by dataset.",
+		obs.TypeCounter, labels, c.perDataset(func(d *dsCount) int64 { return d.misses.Load() }))
+	reg.CollectFunc("gtpq_cache_dataset_bytes", "Bytes of cached answers by dataset.",
+		obs.TypeGauge, labels, c.perDataset(func(d *dsCount) int64 { return d.bytes.Load() }))
+}
+
+// perDataset builds a scrape callback emitting one sample per known
+// dataset, in sorted name order.
+func (c *Cache) perDataset(read func(*dsCount) int64) func() []obs.Sample {
+	return func() []obs.Sample {
+		c.dsMu.RLock()
+		names := make([]string, 0, len(c.ds))
+		for name := range c.ds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out := make([]obs.Sample, 0, len(names))
+		for _, name := range names {
+			out = append(out, obs.Sample{Labels: []string{name}, Value: float64(read(c.ds[name]))})
+		}
+		c.dsMu.RUnlock()
+		return out
+	}
+}

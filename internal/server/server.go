@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"gtpq/internal/core"
 	"gtpq/internal/graph"
 	"gtpq/internal/gtea"
+	"gtpq/internal/obs"
 	"gtpq/internal/qcache"
 	"gtpq/internal/qlang"
 )
@@ -78,6 +80,22 @@ type Config struct {
 	// value. The check runs before the query takes a worker slot; cache
 	// hits are unaffected. 0 disables cost-based admission.
 	CostQuota int64
+	// Registry receives every server metric (scraped at GET /metrics);
+	// nil creates a private registry. The cache and catalog register
+	// their own families on the same registry.
+	Registry *obs.Registry
+	// SlowLogThreshold enables the slow-query ring log (GET
+	// /debug/slowlog): queries at least this slow are recorded with
+	// their plan summary and per-stage trace timings. 0 disables it.
+	SlowLogThreshold time.Duration
+	// SlowLogSize caps the ring (default 128 when the threshold is set).
+	SlowLogSize int
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (method, path, status, latency, request ID, dataset, cost
+	// estimate). Writes are serialized by the server.
+	AccessLog io.Writer
+	// AccessLogSample logs every Nth request (default 1: all).
+	AccessLogSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +114,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
+	if c.SlowLogThreshold > 0 && c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
+	if c.AccessLogSample <= 0 {
+		c.AccessLogSample = 1
+	}
 	return c
 }
 
@@ -106,36 +130,60 @@ type Server struct {
 	sem   chan struct{} // worker slots
 	cache *qcache.Cache // nil when CacheBytes is 0
 	start time.Time
+	reg   *obs.Registry
+	slow  *obs.SlowLog // nil when SlowLogThreshold is 0
 
-	queued          atomic.Int64 // waiting + running admissions
-	requests        atomic.Int64
-	queries         atomic.Int64
-	rejected        atomic.Int64
-	costRejected    atomic.Int64
-	costRejectedBy  sync.Map // dataset name -> *atomic.Int64
-	timeouts        atomic.Int64
-	failures        atomic.Int64
-	rows            atomic.Int64
-	updates         atomic.Int64
-	updateFailures  atomic.Int64
-	compactions     atomic.Int64
-	compactFailures atomic.Int64
+	queued atomic.Int64 // waiting + running admissions
+	logMu  sync.Mutex   // serializes AccessLog writes
+	logSeq atomic.Int64 // access-log sampling sequence
+
+	// Serving counters, owned by the metrics registry (initMetrics);
+	// /stats snapshots them and /metrics scrapes the same values.
+	requests        *obs.Counter
+	queries         *obs.Counter
+	rejected        *obs.Counter
+	costRejected    *obs.Counter
+	costRejectedBy  *obs.CounterVec // by dataset
+	timeouts        *obs.Counter
+	failures        *obs.Counter
+	rows            *obs.Counter
+	updates         *obs.Counter
+	updateFailures  *obs.Counter
+	compactions     *obs.Counter
+	compactFailures *obs.Counter
+	indexLookups    *obs.Counter
+	queryLatency    *obs.HistogramVec // by dataset, index kind
 }
 
 // New builds a server over cat.
 func New(cat *catalog.Catalog, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		cat:   cat,
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.Workers),
 		start: time.Now(),
+		reg:   reg,
 	}
+	if cfg.SlowLogThreshold > 0 {
+		s.slow = obs.NewSlowLog(cfg.SlowLogSize)
+	}
+	s.initMetrics()
 	if cfg.CacheBytes > 0 {
 		s.cache = qcache.New(cfg.CacheBytes)
+		s.cache.Register(reg)
 	}
+	cat.Register(reg)
 	return s
 }
+
+// Registry exposes the server's metric registry (tests and embedders
+// scrape it directly).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Cache exposes the result cache (nil when disabled); used by tests
 // and metrics exporters.
@@ -148,11 +196,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.instrument(mux)
 }
 
 // errOverloaded is the admission-control rejection.
@@ -171,12 +221,8 @@ func (e errCostExceeded) Error() string {
 
 // costRejectFor returns (creating on first use) the named dataset's
 // cost-rejection counter.
-func (s *Server) costRejectFor(name string) *atomic.Int64 {
-	if v, ok := s.costRejectedBy.Load(name); ok {
-		return v.(*atomic.Int64)
-	}
-	v, _ := s.costRejectedBy.LoadOrStore(name, new(atomic.Int64))
-	return v.(*atomic.Int64)
+func (s *Server) costRejectFor(name string) *obs.Counter {
+	return s.costRejectedBy.With(name)
 }
 
 // admit claims a worker slot, waiting at most until ctx's deadline and
@@ -264,6 +310,10 @@ type queryResult struct {
 	// shards, whose per-shard plans differ).
 	Plan  *gtea.PlanInfo `json:"plan,omitempty"`
 	Error string         `json:"error,omitempty"`
+	// RequestID echoes X-GTPQ-Request-ID and Trace carries the
+	// per-stage span tree of this evaluation; both only under ?debug=1.
+	RequestID string    `json:"request_id,omitempty"`
+	Trace     *obs.Span `json:"trace,omitempty"`
 }
 
 type resultStats struct {
@@ -292,6 +342,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if single == (len(req.Queries) > 0) {
 		httpError(w, http.StatusBadRequest, "set exactly one of \"query\" and \"queries\"")
 		return
+	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		ri.dataset = req.Dataset
 	}
 
 	// Acquire before starting the clock: a cold dataset's load or
@@ -390,6 +443,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // cached.
 func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string, debug bool) queryResult {
 	start := time.Now()
+	// Tracing is opt-in per query: ?debug=1 attaches the span tree to
+	// the response, and an enabled slowlog records stage timings for
+	// queries that cross the threshold. Untraced queries pay nothing —
+	// every span call downstream no-ops on the nil trace.
+	var tr *obs.Trace
+	if debug || s.slow != nil {
+		tr = obs.NewTrace("query")
+		tr.Root().Attr("dataset", ds.Name)
+		tr.Root().Attr("index", ds.Engine.IndexKind())
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
 	// Price the query against the dataset's cardinality summary. The
 	// quota check lives inside compute, i.e. on the miss path AFTER the
 	// cache consult but BEFORE admission: an over-quota query never
@@ -398,6 +462,11 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 	var est int64 = -1
 	if ds.Card != nil {
 		est = ds.Card.EstimateQuery(q)
+	}
+	if est > 0 {
+		if ri := reqInfoFrom(ctx); ri != nil {
+			ri.cost.Store(est)
+		}
 	}
 	// One admission+evaluation path whether or not the cache is on; the
 	// cache merely decides how often it runs.
@@ -408,9 +477,12 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 			s.costRejectFor(ds.Name).Add(1)
 			return nil, errCostExceeded{est: est, quota: s.cfg.CostQuota}
 		}
+		asp := tr.Start("admit")
 		if err := s.admit(ctx); err != nil {
+			asp.End()
 			return nil, err
 		}
+		asp.End()
 		defer s.done()
 		a, stats, err := ds.Engine.EvalStatsCtx(ctx, q)
 		st = stats
@@ -433,6 +505,7 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 		ans, src, err = s.cache.Do(ctx, key, compute)
 		cached = src != qcache.Computed
 	}
+	tr.Root().Attr("cached", fmt.Sprintf("%t", cached))
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.timeouts.Add(1)
@@ -441,6 +514,7 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 		if est > 0 {
 			res.CostEstimate = est
 		}
+		s.observeQuery(ctx, ds, canon, tr, st, est, cached, time.Since(start), 0, err.Error(), debug, &res)
 		return res
 	}
 	if cached {
@@ -448,6 +522,7 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 		// the result size and how long the cache path took.
 		st = gtea.Stats{Results: int64(len(ans.Tuples))}
 	}
+	s.indexLookups.Add(st.Index)
 	res := s.buildResult(q, ans, st, start, cached)
 	if est > 0 {
 		res.CostEstimate = est
@@ -455,7 +530,44 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 	if debug && !cached {
 		res.Plan = st.Plan
 	}
+	s.observeQuery(ctx, ds, canon, tr, st, est, cached, time.Since(start), st.Results, "", debug, &res)
 	return res
+}
+
+// observeQuery finishes a query's observability: the latency
+// histogram sample, the slowlog entry when the query crossed the
+// threshold, and the ?debug=1 trace attachment.
+func (s *Server) observeQuery(ctx context.Context, ds *catalog.Dataset, canon string, tr *obs.Trace, st gtea.Stats, est int64, cached bool, elapsed time.Duration, rows int64, errMsg string, debug bool, res *queryResult) {
+	s.queryLatency.With(ds.Name, ds.Engine.IndexKind()).Observe(elapsed.Seconds())
+	tr.Finish()
+	var planSummary string
+	if st.Plan != nil {
+		planSummary = st.Plan.String()
+	}
+	if s.slow != nil && elapsed >= s.cfg.SlowLogThreshold {
+		e := obs.SlowEntry{
+			Time:       time.Now(),
+			RequestID:  requestIDFrom(ctx),
+			Dataset:    ds.Name,
+			Query:      canon,
+			Index:      ds.Engine.IndexKind(),
+			Generation: ds.Generation,
+			Cached:     cached,
+			Millis:     float64(elapsed.Microseconds()) / 1000,
+			Rows:       rows,
+			Error:      errMsg,
+			Plan:       planSummary,
+			Stages:     tr.Stages(),
+		}
+		if est > 0 {
+			e.CostEstimate = est
+		}
+		s.slow.Add(e)
+	}
+	if debug {
+		res.RequestID = requestIDFrom(ctx)
+		res.Trace = tr.Snapshot()
+	}
 }
 
 // buildResult renders an answer into the response shape, applying the
@@ -527,9 +639,7 @@ func (s *Server) datasetInfos() ([]datasetInfo, error) {
 				out[i].Cache = &cs
 			}
 		}
-		if v, ok := s.costRejectedBy.Load(info.Name); ok {
-			out[i].CostRejected = v.(*atomic.Int64).Load()
-		}
+		out[i].CostRejected = s.costRejectedBy.With(info.Name).Load()
 	}
 	return out, nil
 }

@@ -18,6 +18,7 @@ import (
 	"gtpq/internal/gen"
 	"gtpq/internal/graph"
 	"gtpq/internal/graphio"
+	"gtpq/internal/obs"
 	"gtpq/internal/shard"
 )
 
@@ -386,6 +387,19 @@ func TestStatsConsistentUnderLoad(t *testing.T) {
 
 	cfgMax := int64(s.cfg.Workers + s.cfg.QueueDepth)
 	for i := 0; i < 50; i++ {
+		// The same hammer covers /metrics: every scrape must be a valid
+		// exposition whose histogram invariants (cumulative buckets,
+		// _count == +Inf) hold even while Observe races the scrape —
+		// each child is snapshotted atomically, never mid-update.
+		mresp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateExposition(mresp.Body); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		mresp.Body.Close()
+
 		resp, err := http.Get(ts.URL + "/stats")
 		if err != nil {
 			t.Fatal(err)

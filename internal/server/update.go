@@ -110,6 +110,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing \"dataset\"")
 		return
 	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		ri.dataset = req.Dataset
+	}
 	b, err := req.toBatch()
 	if err != nil {
 		s.updateFailures.Add(1)

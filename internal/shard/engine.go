@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"gtpq/internal/core"
 	"gtpq/internal/graph"
 	"gtpq/internal/gtea"
+	"gtpq/internal/obs"
 )
 
 // Options tune sharded engine construction and execution.
@@ -216,6 +218,11 @@ func (se *ShardedEngine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Each shard's evaluation gets its own trace span (nested under the
+	// caller's current span), so a scatter-gather trace shows which
+	// shard the wall time went to; engine stages nest under the shard
+	// span. All no-ops when the context carries no trace.
+	scatter := obs.SpanFrom(cctx)
 
 	type result struct {
 		ans *core.Answer
@@ -231,10 +238,18 @@ func (se *ShardedEngine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core
 			defer wg.Done()
 			for si := range jobs {
 				u := se.shards[si]
+				sctx := cctx
+				var sp *obs.Span
+				if scatter != nil {
+					// Guarded so the untraced hot path allocates nothing.
+					sp = scatter.Start("shard_" + strconv.Itoa(si))
+					sctx = obs.ContextWithSpan(cctx, sp)
+				}
 				t0 := time.Now()
-				ans, st, err := u.eng.EvalStatsCtx(cctx, q)
+				ans, st, err := u.eng.EvalStatsCtx(sctx, q)
 				u.evals.Add(1)
 				u.evalNs.Add(time.Since(t0).Nanoseconds())
+				sp.End()
 				if err == nil {
 					remap(ans, u.globals)
 				} else {
