@@ -26,6 +26,8 @@
 //
 //	POST /query     {"dataset":"d","query":"node x label=a output","timeout_ms":100}
 //	POST /query     {"dataset":"d","queries":["...","..."]}
+//	POST /query     {"dataset":"d","query":"...","limit":100,"cursor":"..."}  paged
+//	POST /query     with Accept: application/x-ndjson — streamed rows
 //	POST /update    {"dataset":"d","nodes":[{"label":"a"}],"edges":[{"from":0,"to":9}]}
 //	GET  /datasets
 //	GET  /stats
@@ -73,7 +75,8 @@ func main() {
 		queue     = flag.Int("queue", 0, "max evaluations waiting for a worker (default 4x workers)")
 		timeout   = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 		maxTime   = flag.Duration("max-timeout", 30*time.Second, "upper bound on client-requested deadlines")
-		maxRows   = flag.Int("max-rows", 10000, "max result rows returned per query (0: unlimited)")
+		maxRows   = flag.Int("max-rows", 10000, "max result rows returned per query; doubles as the default page size for paged and NDJSON responses (0: unlimited)")
+		streamBuf = flag.Int("stream-buffer", 256, "NDJSON rows written between explicit flushes on streamed responses")
 		cacheB    = flag.Int64("cache-bytes", 64<<20, "result cache budget in bytes (0: disable caching)")
 		compactN  = flag.Int("compact-after", 0, "fold a dataset's delta log into a fresh snapshot once this many mutations are pending (0: never auto-compact)")
 		plan      = flag.String("plan", "on", "cost-based pruning order + multiway kernels: on or off (off restores the paper's fixed post-order)")
@@ -147,6 +150,7 @@ func main() {
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTime,
 		MaxRows:          *maxRows,
+		StreamBuffer:     *streamBuf,
 		CacheBytes:       *cacheB,
 		CompactAfter:     *compactN,
 		CostQuota:        *costQuota,

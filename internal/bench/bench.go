@@ -83,6 +83,8 @@ type Runner struct {
 	planFlat    map[string]*gtea.Engine         // kind/mode -> flat engine
 	planSharded map[string]*shard.ShardedEngine // kind/mode -> K-way engine
 
+	streamGraph *graph.Graph // fan product graph of the stream experiment
+
 	jsonRecords []Record // memoized machine-readable suite
 }
 

@@ -23,7 +23,7 @@ func nsDur(ns int64) time.Duration { return time.Duration(ns) }
 // JSON but not gated.
 
 // gatedExperiments are the record kinds the regression gate compares.
-var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true}
+var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true, "stream": true}
 
 // A record must additionally clear an absolute noise floor to count
 // as a regression: sub-millisecond records swing several-fold on a
@@ -58,6 +58,7 @@ type checkKey struct {
 	Pending    int
 	PlanMode   string
 	ObsMode    string
+	StreamMode string
 }
 
 func keyOf(r Record) checkKey {
@@ -71,6 +72,7 @@ func keyOf(r Record) checkKey {
 		Pending:    r.PendingDeltas,
 		PlanMode:   r.PlanMode,
 		ObsMode:    r.ObsMode,
+		StreamMode: r.StreamMode,
 	}
 }
 
@@ -96,6 +98,9 @@ func (k checkKey) String() string {
 	}
 	if k.ObsMode != "" {
 		s += "/obs=" + k.ObsMode
+	}
+	if k.StreamMode != "" {
+		s += "/mode=" + k.StreamMode
 	}
 	return s
 }

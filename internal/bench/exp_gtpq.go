@@ -226,4 +226,6 @@ func (r *Runner) All() {
 	r.Planning()
 	r.printf("\n")
 	r.Observability()
+	r.printf("\n")
+	r.Stream()
 }

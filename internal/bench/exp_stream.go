@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/qlang"
+)
+
+// The stream experiment prices the pull-based result cursor against
+// eager materialization on the workload streaming exists for: a result
+// that is the Cartesian product of small per-component partials. The
+// fan graph has one hub node and streamFan spokes of each output label;
+// the hub prunes to a single candidate, so shrink drops it and the two
+// output nodes become independent components — streamFan tuples each —
+// whose product is streamFan² rows. Materialized evaluation builds (and
+// sorts) the whole product before the first row exists; the cursor
+// emits the first row after pruning alone and never holds more than the
+// partials. Measured per mode: time-to-first-row, total drain time, and
+// live heap while the result is resident (answer live vs mid-drain).
+// Rows are FNV-hashed in order on both sides, so the comparison doubles
+// as a byte-identity check.
+
+// streamFan is the spoke count per label: 600 intermediate tuples,
+// 360k-row product.
+const streamFan = 300
+
+// streamQuerySrc matches hub spokes pairwise; the hub itself has one
+// candidate and shrinks away.
+const streamQuerySrc = "node r label=r\nnode x label=a parent=r edge=ad output\nnode y label=b parent=r edge=ad output"
+
+// streamMeasurement is one mode's numbers.
+type streamMeasurement struct {
+	TTFR  time.Duration // request start to first usable row
+	Total time.Duration // request start to last row consumed
+	Peak  int64         // live heap over baseline while the result is resident
+	Rows  int64
+	Hash  uint64 // FNV-1a over rows in emission order
+}
+
+// streamSetup returns the (cached) fan graph and its engine.
+func (r *Runner) streamSetup() (*gtea.Engine, *graph.Graph) {
+	if r.streamGraph == nil {
+		g := graph.New(1+2*streamFan, 2*streamFan)
+		hub := g.AddNode("r", nil)
+		for i := 0; i < streamFan; i++ {
+			g.AddEdge(hub, g.AddNode("a", nil))
+		}
+		for i := 0; i < streamFan; i++ {
+			g.AddEdge(hub, g.AddNode("b", nil))
+		}
+		g.Freeze()
+		r.streamGraph = g
+	}
+	return r.GTEA(r.streamGraph), r.streamGraph
+}
+
+// heapLive returns the post-GC live heap, for before/after deltas.
+func heapLive() int64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.HeapAlloc)
+}
+
+// rowHash folds one row into an FNV-1a accumulator.
+func rowHash(h uint64, row []graph.NodeID) uint64 {
+	for _, v := range row {
+		h = (h ^ uint64(uint32(v))) * 1099511628211
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// streamMeasure runs both modes once and returns their measurements.
+func (r *Runner) streamMeasure() (mat, str streamMeasurement) {
+	e, _ := r.streamSetup()
+	q, err := qlang.Parse(streamQuerySrc)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	ctx := context.Background()
+	e.Eval(q) // warm up index paths outside the measurement
+
+	// Materialized: the first row is usable only once the full answer
+	// exists; peak is sampled with the answer live.
+	base := heapLive()
+	t0 := time.Now()
+	ans := e.Eval(q)
+	mat.TTFR = time.Since(t0)
+	mat.Hash = fnvOffset
+	for _, row := range ans.Tuples {
+		mat.Hash = rowHash(mat.Hash, row)
+	}
+	mat.Total = time.Since(t0)
+	mat.Rows = int64(len(ans.Tuples))
+	mat.Peak = heapLive() - base
+	runtime.KeepAlive(ans)
+	ans = nil
+
+	// Streamed: first Next is the first row; peak is sampled mid-drain
+	// with only the cursor (per-component partials) live. The GC pause
+	// the sample forces is subtracted from the drain time.
+	base = heapLive()
+	t0 = time.Now()
+	cur, _, err := e.EvalCursor(ctx, q)
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	defer cur.Close()
+	str.Hash = fnvOffset
+	var gcPause time.Duration
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		str.Rows++
+		if str.Rows == 1 {
+			str.TTFR = time.Since(t0)
+		}
+		str.Hash = rowHash(str.Hash, row)
+		if str.Rows == mat.Rows/2 {
+			g0 := time.Now()
+			str.Peak = heapLive() - base
+			gcPause = time.Since(g0)
+		}
+	}
+	str.Total = time.Since(t0) - gcPause
+	if err := cur.Err(); err != nil {
+		panic("bench: " + err.Error())
+	}
+	if str.Peak < 0 {
+		str.Peak = 0
+	}
+	if mat.Peak < 0 {
+		mat.Peak = 0
+	}
+	return mat, str
+}
+
+// Stream prints the streamed-vs-materialized comparison on the fan
+// product workload.
+func (r *Runner) Stream() {
+	_, g := r.streamSetup()
+	mat, str := r.streamMeasure()
+	r.printf("== Streaming: cursor vs materialized on the fan product (%d nodes, %d x %d rows) ==\n",
+		g.N(), streamFan, streamFan)
+	r.printf("%-14s %12s %12s %12s %10s\n", "mode", "first-row", "total", "peak-heap", "rows")
+	for _, m := range []struct {
+		name string
+		m    streamMeasurement
+	}{{"materialized", mat}, {"streamed", str}} {
+		r.printf("%-14s %12s %12s %12s %10d\n",
+			m.name, fmtDur(m.m.TTFR), fmtDur(m.m.Total), fmtBytes(m.m.Peak), m.m.Rows)
+	}
+	if mat.Hash != str.Hash || mat.Rows != str.Rows {
+		r.printf("MISMATCH: streamed rows differ from materialized (rows %d vs %d)\n", str.Rows, mat.Rows)
+		return
+	}
+	r.printf("first-row speedup: %.1fx (acceptance >=5x); peak-heap ratio: %.1fx\n",
+		float64(mat.TTFR)/float64(str.TTFR), float64(mat.Peak)/float64(max64(str.Peak, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// streamRecords emits the machine-readable stream experiment: one
+// record per mode. The regression gate watches both drain times; TTFR
+// and peak heap ride along in the JSON for trajectory tracking.
+func (r *Runner) streamRecords() []Record {
+	e, g := r.streamSetup()
+	mat, str := r.streamMeasure()
+	if mat.Hash != str.Hash || mat.Rows != str.Rows {
+		panic("bench: streamed rows differ from materialized")
+	}
+	var recs []Record
+	for _, m := range []struct {
+		mode string
+		m    streamMeasurement
+	}{{"materialized", mat}, {"streamed", str}} {
+		recs = append(recs, Record{
+			Experiment: "stream",
+			Kind:       e.H.Kind(),
+			Query:      "fan",
+			Nodes:      g.N(),
+			Edges:      g.M(),
+			StreamMode: m.mode,
+			NsPerOp:    m.m.Total.Nanoseconds(),
+			TTFRNs:     m.m.TTFR.Nanoseconds(),
+			PeakBytes:  m.m.Peak,
+			Results:    m.m.Rows,
+		})
+	}
+	return recs
+}

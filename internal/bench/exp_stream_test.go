@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestStreamExperimentBounds is the streaming acceptance criterion as a
+// test: on the fan product workload the cursor's first row must arrive
+// at least 5x sooner than the materialized answer (which exists only
+// after the full product is built and sorted), its resident heap must
+// be bounded by the partials rather than the result (well under the
+// materialized answer's footprint), and the two row streams must hash
+// identically in order.
+func TestStreamExperimentBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory/latency measurement; skipped in -short")
+	}
+	r := NewRunner(Config{}, io.Discard)
+	mat, str := r.streamMeasure()
+	t.Logf("materialized: ttfr=%v total=%v peak=%s rows=%d", mat.TTFR, mat.Total, fmtBytes(mat.Peak), mat.Rows)
+	t.Logf("streamed:     ttfr=%v total=%v peak=%s rows=%d", str.TTFR, str.Total, fmtBytes(str.Peak), str.Rows)
+
+	if mat.Rows != int64(streamFan*streamFan) {
+		t.Fatalf("fan product has %d rows, want %d", mat.Rows, streamFan*streamFan)
+	}
+	if str.Rows != mat.Rows || str.Hash != mat.Hash {
+		t.Fatalf("streamed rows differ from materialized: rows %d vs %d, hash %x vs %x",
+			str.Rows, mat.Rows, str.Hash, mat.Hash)
+	}
+	if str.TTFR*5 > mat.TTFR {
+		t.Errorf("time-to-first-row %v is not >=5x better than materialized %v", str.TTFR, mat.TTFR)
+	}
+	// The materialized answer holds streamFan^2 tuples; the cursor holds
+	// 2*streamFan partial tuples. Allow generous measurement noise and
+	// still demand a 4x gap.
+	if str.Peak*4 > mat.Peak {
+		t.Errorf("mid-drain heap %s is not <1/4 of materialized %s", fmtBytes(str.Peak), fmtBytes(mat.Peak))
+	}
+}

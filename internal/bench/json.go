@@ -69,6 +69,14 @@ type Record struct {
 	// histogram + counters) were recorded during the measurement
 	// ("on"/"off").
 	ObsMode string `json:"obs_mode,omitempty"`
+
+	// Stream experiment fields: the result-delivery mode
+	// ("materialized"/"streamed"), time-to-first-row, and the live heap
+	// held while the result was resident (the full answer vs. the
+	// cursor's per-component partials mid-drain).
+	StreamMode string `json:"stream_mode,omitempty"`
+	TTFRNs     int64  `json:"ttfr_ns,omitempty"`
+	PeakBytes  int64  `json:"peak_bytes,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -166,6 +174,8 @@ func (r *Runner) JSONRecords() []Record {
 	recs = append(recs, r.planRecords()...)
 	// Metrics on/off overhead on the pair workload.
 	recs = append(recs, r.obsRecords()...)
+	// Streamed vs materialized delivery on the fan product.
+	recs = append(recs, r.streamRecords()...)
 	r.jsonRecords = recs
 	return recs
 }

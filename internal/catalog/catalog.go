@@ -68,6 +68,10 @@ type Options struct {
 type Engine interface {
 	Eval(q *core.Query) *core.Answer
 	EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, gtea.Stats, error)
+	// EvalCursor returns a pull-based cursor over the canonical-order
+	// results instead of a materialized answer; the streaming result
+	// path (NDJSON responses, pagination) drains it row by row.
+	EvalCursor(ctx context.Context, q *core.Query) (gtea.Cursor, gtea.Stats, error)
 	IndexKind() string
 	IndexSize() int
 }

@@ -51,12 +51,22 @@ func (a *Answer) Canonicalize() {
 }
 
 func tupleLess(x, y []graph.NodeID) bool {
+	return CompareTuples(x, y) < 0
+}
+
+// CompareTuples orders equal-width result tuples lexicographically —
+// the canonical answer order (Canonicalize) and the merge order of
+// streamed per-shard cursors. Returns -1, 0, or +1.
+func CompareTuples(x, y []graph.NodeID) int {
 	for i := range x {
 		if x[i] != y[i] {
-			return x[i] < y[i]
+			if x[i] < y[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return false
+	return 0
 }
 
 func tupleEq(x, y []graph.NodeID) bool {

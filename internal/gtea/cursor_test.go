@@ -1,0 +1,158 @@
+package gtea
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gtpq/internal/core"
+)
+
+// TestCursorMatchesEval is the core streaming property on one engine:
+// draining EvalCursor yields rows byte-identical (order included) to
+// the materialized Eval, across random graphs and random queries —
+// both the lazy product path and the interleaved-component fallback.
+func TestCursorMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	labels := []string{"a", "b", "c"}
+	g := randGraph(r, 80, 240, labels, false)
+	e := New(g)
+	lazy, buffered := 0, 0
+	for i := 0; i < 25; i++ {
+		q := randQuery(r, 2+r.Intn(5), labels, true, true)
+		want := e.Eval(q)
+		cur, _, err := e.EvalCursor(context.Background(), q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if cur.Buffered() {
+			buffered++
+		} else {
+			lazy++
+		}
+		got, err := Collect(cur)
+		if err != nil {
+			t.Fatalf("query %d: drain: %v", i, err)
+		}
+		if cur.Rows() != int64(len(got.Tuples)) {
+			t.Fatalf("query %d: Rows()=%d but drained %d", i, cur.Rows(), len(got.Tuples))
+		}
+		cur.Close()
+		if !want.Equal(got) {
+			t.Fatalf("query %d: cursor rows differ from Eval\nquery:\n%s\nwant %v\ngot  %v", i, q, want, got)
+		}
+	}
+	t.Logf("%d lazy, %d buffered cursors", lazy, buffered)
+}
+
+// TestCursorLazyOnContiguousOutputs pins the structural guarantee the
+// NDJSON path's memory bound rests on: a query whose output positions
+// sit in one component (the common qlang case — subtrees are contiguous
+// in preorder ids) streams through the odometer product, not through a
+// materialized answer.
+func TestCursorLazyOnContiguousOutputs(t *testing.T) {
+	g := chainGraph(60)
+	e := New(g)
+	cur, _, err := e.EvalCursor(context.Background(), pairQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if cur.Buffered() {
+		t.Fatal("contiguous-output query fell back to a buffered cursor")
+	}
+	want := e.Eval(pairQuery())
+	got, err := Collect(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("lazy cursor rows differ: want %d rows, got %d", len(want.Tuples), len(got.Tuples))
+	}
+}
+
+// TestCursorCancelMidDrain checks cancellation interrupts a long drain:
+// after cancel, the cursor stops within one poll interval and reports
+// the context error.
+func TestCursorCancelMidDrain(t *testing.T) {
+	g := chainGraph(400) // ~80k result pairs
+	e := New(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, _, err := e.EvalCursor(ctx, pairQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for i := 0; i < 10; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatal("cursor exhausted after 10 rows; graph too small for the test")
+		}
+	}
+	cancel()
+	// The poll runs every opsPerCtxCheck rows; the cursor must stop well
+	// before the ~80k-row drain completes.
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		if n++; n > 2*opsPerCtxCheck {
+			t.Fatalf("cursor emitted %d rows after cancel", n)
+		}
+	}
+	if !errors.Is(cur.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", cur.Err())
+	}
+}
+
+// TestCursorAbandonReleasesContext checks the pool-safety contract: the
+// pooled evalContext is released before EvalCursor returns, so a
+// half-consumed, never-closed cursor cannot poison later evaluations on
+// the same engine.
+func TestCursorAbandonReleasesContext(t *testing.T) {
+	g := chainGraph(120)
+	e := New(g)
+	want := e.Eval(pairQuery())
+	cur, _, err := e.EvalCursor(context.Background(), pairQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		cur.Next()
+	}
+	// Abandon without Close, then evaluate again through the pool.
+	for i := 0; i < 3; i++ {
+		if got := e.Eval(pairQuery()); !want.Equal(got) {
+			t.Fatalf("eval %d after abandoned cursor differs", i)
+		}
+	}
+	cur.Close()
+	if _, ok := cur.Next(); ok {
+		t.Fatal("Next returned a row after Close")
+	}
+}
+
+// TestCursorEmptyResult checks the empty-answer path: no candidates at
+// all yields an immediately-exhausted cursor with no error.
+func TestCursorEmptyResult(t *testing.T) {
+	g := chainGraph(10)
+	e := New(g)
+	q := core.NewQuery()
+	x := q.AddRoot("x", core.Label("nope"))
+	q.SetOutput(x)
+	cur, _, err := e.EvalCursor(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, ok := cur.Next(); ok {
+		t.Fatal("empty result produced a row")
+	}
+	if cur.Err() != nil {
+		t.Fatalf("empty drain errored: %v", cur.Err())
+	}
+	if cur.Rows() != 0 {
+		t.Fatalf("Rows() = %d on empty result", cur.Rows())
+	}
+}

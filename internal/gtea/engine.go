@@ -310,37 +310,17 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 		panic("gtea: query has no output nodes")
 	}
 
-	sp := parent.Start("plan")
-	ec.planQuery(q)
-	sp.End()
-	sp = parent.Start("candidates")
-	ec.initCandidates(q)
-	sp.End()
-
-	pruneStart := time.Now()
-	sp = parent.Start("prune_down")
-	ec.pruneDownward(q)
-	sp.AttrInt("prune_input", ec.stat.PruneInput)
-	sp.End()
-	if ec.err == nil && len(ec.mat[q.Root]) > 0 {
-		sp = parent.Start("prune_up")
-		prime := ec.primeSubtree(q, outs)
-		ec.pruneUpward(q, prime)
-		sp.End()
-		ec.stat.PruneTime = time.Since(pruneStart)
+	prime, alive := ec.pruneAll(q, outs, parent)
+	if alive && ec.err == nil {
+		// Shrink and enumerate.
+		sp := parent.Start("enumerate")
+		comps, singles := ec.shrink(q, prime, outs)
+		mg := ec.buildMatchingGraph(q, comps)
 		if ec.err == nil {
-			// Shrink and enumerate.
-			sp = parent.Start("enumerate")
-			comps, singles := ec.shrink(q, prime, outs)
-			mg := ec.buildMatchingGraph(q, comps)
-			if ec.err == nil {
-				ec.collectAll(q, ans, comps, singles, mg)
-			}
-			sp.AttrInt("intermediate", ec.stat.Intermediate)
-			sp.End()
+			ec.collectAll(q, ans, comps, singles, mg)
 		}
-	} else {
-		ec.stat.PruneTime = time.Since(pruneStart)
+		sp.AttrInt("intermediate", ec.stat.Intermediate)
+		sp.End()
 	}
 
 	ec.finishPlan(q)
@@ -359,6 +339,36 @@ func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer,
 	ans.Canonicalize()
 	ec.stat.Results = int64(ans.Len())
 	return ans, ec.stat, nil
+}
+
+// pruneAll runs the evaluation front half shared by EvalStatsCtx and
+// EvalCursor: planning, candidate initialization, and the two pruning
+// rounds, with their trace spans and PruneTime accounting. It returns
+// the prime subtree and whether the root kept at least one candidate
+// (alive == false means the answer is empty — or ec.err is set).
+func (ec *evalContext) pruneAll(q *core.Query, outs []int, parent *obs.Span) (map[int]bool, bool) {
+	sp := parent.Start("plan")
+	ec.planQuery(q)
+	sp.End()
+	sp = parent.Start("candidates")
+	ec.initCandidates(q)
+	sp.End()
+
+	pruneStart := time.Now()
+	sp = parent.Start("prune_down")
+	ec.pruneDownward(q)
+	sp.AttrInt("prune_input", ec.stat.PruneInput)
+	sp.End()
+	if ec.err != nil || len(ec.mat[q.Root]) == 0 {
+		ec.stat.PruneTime = time.Since(pruneStart)
+		return nil, false
+	}
+	sp = parent.Start("prune_up")
+	prime := ec.primeSubtree(q, outs)
+	ec.pruneUpward(q, prime)
+	sp.End()
+	ec.stat.PruneTime = time.Since(pruneStart)
+	return prime, true
 }
 
 // FilterOnly runs only the two pruning rounds and returns the surviving

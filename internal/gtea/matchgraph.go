@@ -166,15 +166,46 @@ func (ec *evalContext) buildMatchingGraph(q *core.Query, comps []component) *mat
 	return mg
 }
 
+// partials is one evaluation's enumeration state just before the
+// cross-component combination step: the per-component distinct partial
+// tuples, the output nodes each component covers, and the fixed images
+// of the shrunk-away singleton outputs. It is the handoff point between
+// eager evaluation (CombineComponents materializes the product) and the
+// pull-based Cursor (which enumerates the same product lazily). All
+// slices are freshly allocated — nothing points into pooled evalContext
+// scratch, so a partials value outlives its context's release.
+type partials struct {
+	singles  map[int]graph.NodeID
+	perComp  [][][]graph.NodeID
+	compOuts [][]int
+	// empty marks an answer known to be empty (an output with no
+	// surviving candidate, or a component with no partial tuples).
+	empty bool
+}
+
 // collectAll enumerates the final answer: per-component results from
 // CollectResults, combined across components through the exported
 // CombineComponents Cartesian-product path, with the fixed singleton
 // outputs appended.
 func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []component, singles map[int]graph.NodeID, mg *matchingGraph) {
+	pt := ec.collectPartials(q, comps, singles, mg)
+	if pt.empty || ec.err != nil {
+		ans.Canonicalize()
+		return
+	}
+	CombineComponents(ans, pt.singles, pt.perComp, pt.compOuts, ec.tick)
+}
+
+// collectPartials runs per-component result collection (Procedure 5
+// with advance merging) and returns the partials; the cross-component
+// product is left to the caller — materialized by collectAll, streamed
+// by EvalCursor.
+func (ec *evalContext) collectPartials(q *core.Query, comps []component, singles map[int]graph.NodeID, mg *matchingGraph) partials {
+	pt := partials{singles: singles}
 	for _, v := range singles {
 		if v == -1 {
-			ans.Canonicalize()
-			return // some output has no candidate: empty answer
+			pt.empty = true
+			return pt // some output has no candidate: empty answer
 		}
 	}
 
@@ -256,8 +287,6 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 	}
 
 	// Per-component result sets (deduplicated across root candidates).
-	perComp := make([][][]graph.NodeID, 0, len(comps))
-	compOuts := make([][]int, 0, len(comps))
 	for _, comp := range comps {
 		os := order(comp.root)
 		if len(os) == 0 {
@@ -269,7 +298,7 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 		var all [][]graph.NodeID
 		for _, v := range ec.mat[comp.root] {
 			if ec.err != nil {
-				return
+				return pt
 			}
 			for _, t := range collect(comp.root, v) {
 				if seen.add(t) {
@@ -278,15 +307,13 @@ func (ec *evalContext) collectAll(q *core.Query, ans *core.Answer, comps []compo
 			}
 		}
 		if len(all) == 0 {
-			ans.Canonicalize()
-			return
+			pt.empty = true
+			return pt
 		}
-		perComp = append(perComp, all)
-		compOuts = append(compOuts, os)
+		pt.perComp = append(pt.perComp, all)
+		pt.compOuts = append(pt.compOuts, os)
 	}
-
-	// Cross-component Cartesian product into final tuples.
-	CombineComponents(ans, singles, perComp, compOuts, ec.tick)
+	return pt
 }
 
 func tupleKey(t []graph.NodeID) string {

@@ -42,6 +42,8 @@ func (s *Server) initMetrics() {
 	s.compactions = reg.Counter("gtpq_compactions_total", "Delta-log folds this process performed after updates.")
 	s.compactFailures = reg.Counter("gtpq_compact_failures_total", "Failed auto-compaction attempts (the update itself succeeded).")
 	s.indexLookups = reg.Counter("gtpq_index_lookups_total", "Reachability index probes charged to fresh evaluations (3-hop list entries or closure words).")
+	s.rowsStreamed = reg.Counter("gtpq_rows_streamed_total", "Result rows delivered through the streaming path: NDJSON lines and cursor-paginated pages.")
+	s.streamBypass = reg.Counter("gtpq_stream_cache_bypass_total", "Streamed evaluations that deliberately bypassed the result cache (bounded-memory policy: streamed answers are never materialized for caching).")
 	s.queryLatency = reg.HistogramVec("gtpq_query_seconds",
 		"End-to-end query latency by dataset and reachability backend, cache hits included.",
 		obs.DefLatencyBuckets, "dataset", "index")

@@ -62,8 +62,15 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 4 MiB).
 	MaxBodyBytes int64
 	// MaxRows caps result rows returned per query; responses note
-	// truncation. 0 means unlimited.
+	// truncation. Paged and NDJSON responses use it as the default (and
+	// maximum) page size instead, handing back a continuation cursor. 0
+	// means unlimited.
 	MaxRows int
+	// StreamBuffer sets how many NDJSON rows are written between
+	// explicit flushes on streamed responses (default 256). Smaller
+	// values lower time-to-first-byte jitter; larger ones amortize
+	// syscalls.
+	StreamBuffer int
 	// CacheBytes bounds the result cache by the total bytes of cached
 	// answers; 0 disables caching. Full answers are cached (MaxRows
 	// truncation happens per response), keyed by (dataset, generation,
@@ -114,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
 	if c.SlowLogThreshold > 0 && c.SlowLogSize <= 0 {
 		c.SlowLogSize = 128
 	}
@@ -152,6 +162,8 @@ type Server struct {
 	compactions     *obs.Counter
 	compactFailures *obs.Counter
 	indexLookups    *obs.Counter
+	rowsStreamed    *obs.Counter
+	streamBypass    *obs.Counter
 	queryLatency    *obs.HistogramVec // by dataset, index kind
 }
 
@@ -281,13 +293,26 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// queryRequest is the POST /query body. Exactly one of Query/Queries
-// must be set; Queries evaluates as a concurrent batch.
+// queryRequest is the POST /query body. Exactly one of
+// Query/Queries/Entries must be set; Queries and Entries evaluate as a
+// concurrent batch (Entries additionally carries per-entry pagination).
+// Limit and Cursor at the top level apply to every entry that does not
+// override them.
 type queryRequest struct {
-	Dataset   string   `json:"dataset"`
-	Query     string   `json:"query,omitempty"`
-	Queries   []string `json:"queries,omitempty"`
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	Dataset   string       `json:"dataset"`
+	Query     string       `json:"query,omitempty"`
+	Queries   []string     `json:"queries,omitempty"`
+	Entries   []queryEntry `json:"entries,omitempty"`
+	Limit     int          `json:"limit,omitempty"`
+	Cursor    string       `json:"cursor,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// queryEntry is one batch entry with its own pagination window.
+type queryEntry struct {
+	Query  string `json:"query"`
+	Limit  int    `json:"limit,omitempty"`
+	Cursor string `json:"cursor,omitempty"`
 }
 
 // queryResult is one evaluation outcome.
@@ -295,6 +320,12 @@ type queryResult struct {
 	Columns   []string         `json:"columns,omitempty"`
 	Rows      [][]graph.NodeID `json:"rows"`
 	Truncated bool             `json:"truncated,omitempty"`
+	// NextCursor is the opaque continuation token of a paged response:
+	// POSTing it back (with the same dataset and query) resumes the
+	// result stream after this page's last row. Absent on the last page
+	// and on unpaged responses. Tokens are generation-pinned — after a
+	// dataset mutation they answer 410 Gone.
+	NextCursor string `json:"next_cursor,omitempty"`
 	// Cached reports the rows came without a fresh evaluation: a result
 	// cache hit, a coalesced in-flight miss, or a deduplicated batch
 	// entry sharing another entry's evaluation.
@@ -338,11 +369,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing \"dataset\"")
 		return
 	}
-	single := req.Query != ""
-	if single == (len(req.Queries) > 0) {
-		httpError(w, http.StatusBadRequest, "set exactly one of \"query\" and \"queries\"")
+	forms := 0
+	for _, set := range []bool{req.Query != "", len(req.Queries) > 0, len(req.Entries) > 0} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		httpError(w, http.StatusBadRequest, "set exactly one of \"query\", \"queries\" and \"entries\"")
 		return
 	}
+	single := req.Query != ""
 	if ri := reqInfoFrom(r.Context()); ri != nil {
 		ri.dataset = req.Dataset
 	}
@@ -357,51 +394,88 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer ds.Release()
 
+	// Normalize the three request forms into entries; top-level
+	// limit/cursor fill per-entry gaps.
+	entries := req.Entries
+	switch {
+	case single:
+		entries = []queryEntry{{Query: req.Query, Limit: req.Limit, Cursor: req.Cursor}}
+	case len(req.Queries) > 0:
+		entries = make([]queryEntry, len(req.Queries))
+		for i, src := range req.Queries {
+			entries[i] = queryEntry{Query: src, Limit: req.Limit, Cursor: req.Cursor}
+		}
+	default:
+		for i := range entries {
+			if entries[i].Limit == 0 {
+				entries[i].Limit = req.Limit
+			}
+			if entries[i].Cursor == "" {
+				entries[i].Cursor = req.Cursor
+			}
+		}
+	}
+	debug := r.URL.Query().Get("debug") == "1"
+
+	if wantsNDJSON(r) {
+		if !single {
+			httpError(w, http.StatusBadRequest, "NDJSON streaming supports single-query requests only")
+			return
+		}
+		s.streamNDJSON(w, r, ds, req, entries[0], debug)
+		return
+	}
+
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
-	sources := req.Queries
-	if single {
-		sources = []string{req.Query}
-	}
-	results := make([]queryResult, len(sources))
+	results := make([]queryResult, len(entries))
 
 	// Parse and canonicalize up front, deduplicating canonically-equal
 	// batch entries: N identical entries cost one evaluation (the rest
-	// copy the leader's result). Misses on distinct entries still fan
-	// out concurrently through the pool.
+	// copy the leader's result). Entries only dedupe when their whole
+	// result window matches — the same canonical text under different
+	// limit or cursor values names a different page, never the leader's
+	// rows. Misses on distinct entries still fan out concurrently
+	// through the pool.
 	type job struct {
 		idx   int
 		q     *core.Query
 		canon string
+		ent   queryEntry
+	}
+	type dedupKey struct {
+		canon  string
+		limit  int
+		cursor string
 	}
 	var jobs []job
-	leaders := map[string]int{} // canonical text -> leader index
-	dups := map[int]int{}       // follower index -> leader index
-	for i, src := range sources {
+	leaders := map[dedupKey]int{} // result window -> leader index
+	dups := map[int]int{}         // follower index -> leader index
+	for i, ent := range entries {
 		s.queries.Add(1)
-		q, err := qlang.Parse(src)
+		q, err := qlang.Parse(ent.Query)
 		if err != nil {
 			s.failures.Add(1)
 			results[i] = queryResult{Error: err.Error()}
 			continue
 		}
 		canon := qlang.Format(q)
-		if li, ok := leaders[canon]; ok {
+		key := dedupKey{canon: canon, limit: ent.Limit, cursor: ent.Cursor}
+		if li, ok := leaders[key]; ok {
 			dups[i] = li
 			continue
 		}
-		leaders[canon] = i
-		jobs = append(jobs, job{idx: i, q: q, canon: canon})
+		leaders[key] = i
+		jobs = append(jobs, job{idx: i, q: q, canon: canon, ent: ent})
 	}
 
-	debug := r.URL.Query().Get("debug") == "1"
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
-			results[j.idx] = s.evalOne(ctx, ds, j.q, j.canon, debug)
+			results[j.idx] = s.evalOne(ctx, ds, j.q, j.canon, j.ent, debug)
 		}(j)
 	}
 	wg.Wait()
@@ -440,8 +514,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // for sharded datasets the cached value is the merged answer, so a hit
 // skips the whole fan-out. Every failure maps to the result's Error
 // field; a failed (e.g. deadline-cancelled) evaluation is never
-// cached.
-func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string, debug bool) queryResult {
+// cached. Entries carrying a limit or cursor take the paged streaming
+// path instead (evalPaged).
+func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string, ent queryEntry, debug bool) queryResult {
 	start := time.Now()
 	// Tracing is opt-in per query: ?debug=1 attaches the span tree to
 	// the response, and an enabled slowlog records stage timings for
@@ -467,6 +542,9 @@ func (s *Server) evalOne(ctx context.Context, ds *catalog.Dataset, q *core.Query
 		if ri := reqInfoFrom(ctx); ri != nil {
 			ri.cost.Store(est)
 		}
+	}
+	if ent.Limit > 0 || ent.Cursor != "" {
+		return s.evalPaged(ctx, ds, q, canon, ent, est, tr, start, debug)
 	}
 	// One admission+evaluation path whether or not the cache is on; the
 	// cache merely decides how often it runs.
@@ -610,6 +688,8 @@ func errorStatus(msg string) int {
 		return http.StatusTooManyRequests
 	case msg == context.DeadlineExceeded.Error(), msg == context.Canceled.Error():
 		return http.StatusGatewayTimeout
+	case strings.HasPrefix(msg, cursorExpiredPrefix):
+		return http.StatusGone
 	default:
 		return http.StatusBadRequest // parse/validation errors
 	}

@@ -1,0 +1,435 @@
+// Streaming result delivery: cursor pagination on the JSON path and
+// chunked NDJSON responses, both fed by the engines' pull-based
+// gtea.Cursor instead of materialized answers.
+//
+// Policy: a paged or NDJSON request consults the result cache for hits
+// (a cached answer pages for free) but a miss deliberately bypasses it
+// — the whole point of streaming is never holding the full answer, so
+// nothing is materialized for Put. The cache stays the fast path for
+// repeated unpaged queries; streaming is the bounded-memory path for
+// answers too large to want resident.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/obs"
+	"gtpq/internal/qcache"
+	"gtpq/internal/qlang"
+)
+
+// cursorExpiredPrefix opens every stale-cursor error; errorStatus maps
+// it to 410 Gone (the dataset mutated under the token, and result
+// positions are only stable within one generation).
+const cursorExpiredPrefix = "cursor expired: "
+
+// pageToken is the decoded form of the opaque continuation cursor. It
+// pins everything that must not drift between pages: the dataset, its
+// hot-reload generation, the canonical query (hashed), and the index
+// kind — plus the resume offset into the canonical row order.
+type pageToken struct {
+	V          int    `json:"v"`
+	Dataset    string `json:"d"`
+	Generation uint64 `json:"g"`
+	QueryHash  string `json:"q"`
+	Index      string `json:"i"`
+	Offset     int64  `json:"o"`
+}
+
+// queryHash fingerprints a canonical query for cursor pinning.
+func queryHash(canon string) string {
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:8])
+}
+
+// encodePageToken mints the continuation cursor resuming at offset.
+func encodePageToken(ds *catalog.Dataset, canon string, offset int64) string {
+	raw, _ := json.Marshal(pageToken{
+		V:          1,
+		Dataset:    ds.Name,
+		Generation: ds.Generation,
+		QueryHash:  queryHash(canon),
+		Index:      ds.Engine.IndexKind(),
+		Offset:     offset,
+	})
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// decodePageToken validates tok against the acquired dataset and the
+// request's query, returning the resume offset. Mismatched bindings are
+// client errors (400); a generation mismatch means the dataset mutated
+// since the token was minted and maps to 410 Gone.
+func decodePageToken(tok string, ds *catalog.Dataset, canon string) (int64, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil {
+		return 0, fmt.Errorf("invalid cursor: %v", err)
+	}
+	var pt pageToken
+	if err := json.Unmarshal(raw, &pt); err != nil {
+		return 0, fmt.Errorf("invalid cursor: %v", err)
+	}
+	switch {
+	case pt.V != 1:
+		return 0, fmt.Errorf("invalid cursor: unsupported version %d", pt.V)
+	case pt.Dataset != ds.Name:
+		return 0, fmt.Errorf("invalid cursor: issued for dataset %q", pt.Dataset)
+	case pt.QueryHash != queryHash(canon):
+		return 0, errors.New("invalid cursor: issued for a different query")
+	case pt.Offset < 0:
+		return 0, errors.New("invalid cursor: negative offset")
+	// Generation before index kind: a mutation can swap the engine for
+	// an overlay (different kind), and that must read as 410-stale, not
+	// as a malformed token.
+	case pt.Generation != ds.Generation:
+		return 0, errors.New(cursorExpiredPrefix + "dataset generation changed")
+	case pt.Index != ds.Engine.IndexKind():
+		return 0, fmt.Errorf("invalid cursor: issued for index %q", pt.Index)
+	}
+	return pt.Offset, nil
+}
+
+// pageLimit resolves an entry's page size: an explicit limit is capped
+// by MaxRows; no limit means a MaxRows-sized page (or, with both
+// unset, the whole remaining stream).
+func (s *Server) pageLimit(limit int) int {
+	if s.cfg.MaxRows > 0 && (limit <= 0 || limit > s.cfg.MaxRows) {
+		return s.cfg.MaxRows
+	}
+	if limit < 0 {
+		return 0
+	}
+	return limit
+}
+
+// openCursor yields the result stream for one query: a zero-cost
+// replay cursor over a cached answer when the cache holds one, else a
+// fresh engine cursor behind cost-quota and admission control. The
+// returned release func must be called exactly once when the drain
+// ends — it closes the cursor and frees the worker slot, which streaming
+// holds for the whole drain (a slow client occupies a worker; admission
+// control is the backpressure).
+func (s *Server) openCursor(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string, est int64, tr *obs.Trace) (cur gtea.Cursor, st gtea.Stats, cached bool, release func(), err error) {
+	if s.cache != nil {
+		key := qcache.Key{
+			Dataset:    ds.Name,
+			Generation: ds.Generation,
+			Query:      canon,
+			Index:      ds.Engine.IndexKind(),
+		}
+		if ans, ok := s.cache.Get(key); ok {
+			return gtea.NewAnswerCursor(ans), gtea.Stats{Results: int64(len(ans.Tuples))}, true, func() {}, nil
+		}
+		s.streamBypass.Add(1)
+	}
+	if s.cfg.CostQuota > 0 && est > s.cfg.CostQuota {
+		s.costRejected.Add(1)
+		s.costRejectFor(ds.Name).Add(1)
+		return nil, st, false, nil, errCostExceeded{est: est, quota: s.cfg.CostQuota}
+	}
+	asp := tr.Start("admit")
+	if aerr := s.admit(ctx); aerr != nil {
+		asp.End()
+		return nil, st, false, nil, aerr
+	}
+	asp.End()
+	cur, st, err = ds.Engine.EvalCursor(ctx, q)
+	if err != nil {
+		s.done()
+		return nil, st, false, nil, err
+	}
+	return cur, st, false, func() { cur.Close(); s.done() }, nil
+}
+
+// pageRows drains one page window from cur: skip offset rows, collect
+// up to limit (0 = all remaining), then peek one row to learn whether a
+// continuation exists. Rows from a lazy cursor are copied out of its
+// reused buffer; a buffered cursor's tuples are stable and referenced
+// directly.
+func pageRows(cur gtea.Cursor, offset int64, limit int) (rows [][]graph.NodeID, more bool, err error) {
+	for skipped := int64(0); skipped < offset; skipped++ {
+		if _, ok := cur.Next(); !ok {
+			return [][]graph.NodeID{}, false, cur.Err()
+		}
+	}
+	rows = [][]graph.NodeID{} // encode as [] rather than null
+	stable := cur.Buffered()
+	for limit <= 0 || len(rows) < limit {
+		row, ok := cur.Next()
+		if !ok {
+			return rows, false, cur.Err()
+		}
+		if !stable {
+			row = append([]graph.NodeID(nil), row...)
+		}
+		rows = append(rows, row)
+	}
+	if _, ok := cur.Next(); ok {
+		return rows, true, nil
+	}
+	return rows, false, cur.Err()
+}
+
+// evalPaged answers one query's page window through a cursor: O(page)
+// response memory regardless of result size, with a generation-pinned
+// continuation token when rows remain. Fresh evaluations bypass the
+// result cache by design (see the package policy note above).
+func (s *Server) evalPaged(ctx context.Context, ds *catalog.Dataset, q *core.Query, canon string, ent queryEntry, est int64, tr *obs.Trace, start time.Time, debug bool) queryResult {
+	fail := func(err error) queryResult {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Add(1)
+		}
+		res := queryResult{Error: err.Error()}
+		if est > 0 {
+			res.CostEstimate = est
+		}
+		s.observeQuery(ctx, ds, canon, tr, gtea.Stats{}, est, false, time.Since(start), 0, err.Error(), debug, &res)
+		return res
+	}
+	var offset int64
+	if ent.Cursor != "" {
+		off, err := decodePageToken(ent.Cursor, ds, canon)
+		if err != nil {
+			s.failures.Add(1)
+			return fail(err)
+		}
+		offset = off
+	}
+	cur, st, cached, release, err := s.openCursor(ctx, ds, q, canon, est, tr)
+	if err != nil {
+		return fail(err)
+	}
+	defer release()
+
+	sp := tr.Start("stream")
+	rows, more, err := pageRows(cur, offset, s.pageLimit(ent.Limit))
+	sp.AttrInt("rows", int64(len(rows)))
+	sp.End()
+	if err != nil {
+		return fail(err)
+	}
+
+	res := queryResult{
+		Rows:   rows,
+		Cached: cached,
+		Stats: &resultStats{
+			Input:        st.Input,
+			PruneInput:   st.PruneInput,
+			EnumInput:    st.EnumInput,
+			IndexLookups: st.Index,
+			Intermediate: st.Intermediate,
+			Results:      int64(len(rows)),
+			EvalMillis:   float64(time.Since(start).Microseconds()) / 1000,
+		},
+	}
+	for _, u := range cur.Out() {
+		res.Columns = append(res.Columns, q.Nodes[u].Name)
+	}
+	if more {
+		res.NextCursor = encodePageToken(ds, canon, offset+int64(len(rows)))
+	}
+	if est > 0 {
+		res.CostEstimate = est
+	}
+	if debug && !cached {
+		res.Plan = st.Plan
+	}
+	s.indexLookups.Add(st.Index)
+	s.rows.Add(int64(len(rows)))
+	s.rowsStreamed.Add(int64(len(rows)))
+	s.observeQuery(ctx, ds, canon, tr, st, est, cached, time.Since(start), int64(len(rows)), "", debug, &res)
+	return res
+}
+
+// wantsNDJSON reports whether the request negotiated a streaming
+// NDJSON response.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// ndjsonHead is the first NDJSON line: everything the client needs
+// before the rows arrive.
+type ndjsonHead struct {
+	Dataset string   `json:"dataset"`
+	Columns []string `json:"columns"`
+	Cached  bool     `json:"cached"`
+}
+
+// ndjsonRow is one result line.
+type ndjsonRow struct {
+	Row []graph.NodeID `json:"row"`
+}
+
+// ndjsonTrailer is the last NDJSON line: the row count, the
+// continuation cursor when the window capped the stream, the evaluation
+// stats, and any mid-stream error (pre-stream errors use a plain JSON
+// error response instead — the status line is still writable then).
+type ndjsonTrailer struct {
+	Done       bool         `json:"done"`
+	Rows       int64        `json:"rows"`
+	NextCursor string       `json:"next_cursor,omitempty"`
+	Stats      *resultStats `json:"stats,omitempty"`
+	Error      string       `json:"error,omitempty"`
+}
+
+// streamNDJSON answers one query as chunked NDJSON: a head record, one
+// object per result row, and a trailer with stats — flushed every
+// Config.StreamBuffer rows so time-to-first-row is independent of
+// result size. Honors the same limit/cursor window as the JSON path.
+func (s *Server) streamNDJSON(w http.ResponseWriter, r *http.Request, ds *catalog.Dataset, req queryRequest, ent queryEntry, debug bool) {
+	start := time.Now()
+	s.queries.Add(1)
+	q, err := qlang.Parse(ent.Query)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	canon := qlang.Format(q)
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	var tr *obs.Trace
+	if debug || s.slow != nil {
+		tr = obs.NewTrace("query")
+		tr.Root().Attr("dataset", ds.Name)
+		tr.Root().Attr("index", ds.Engine.IndexKind())
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	var est int64 = -1
+	if ds.Card != nil {
+		est = ds.Card.EstimateQuery(q)
+	}
+	if est > 0 {
+		if ri := reqInfoFrom(ctx); ri != nil {
+			ri.cost.Store(est)
+		}
+	}
+
+	// Everything that can fail before the first row fails as a plain
+	// JSON error with a real status code.
+	preFail := func(err error) {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Add(1)
+		}
+		res := queryResult{Error: err.Error()}
+		s.observeQuery(ctx, ds, canon, tr, gtea.Stats{}, est, false, time.Since(start), 0, err.Error(), debug, &res)
+		httpError(w, errorStatus(err.Error()), err.Error())
+	}
+	var offset int64
+	if ent.Cursor != "" {
+		off, derr := decodePageToken(ent.Cursor, ds, canon)
+		if derr != nil {
+			s.failures.Add(1)
+			preFail(derr)
+			return
+		}
+		offset = off
+	}
+	cur, st, cached, release, err := s.openCursor(ctx, ds, q, canon, est, tr)
+	if err != nil {
+		preFail(err)
+		return
+	}
+	defer release()
+
+	head := ndjsonHead{Dataset: ds.Name, Cached: cached}
+	for _, u := range cur.Out() {
+		head.Columns = append(head.Columns, q.Nodes[u].Name)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if est > 0 {
+		w.Header().Set("X-GTPQ-Cost", fmt.Sprintf("%d", est))
+	}
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	if err := enc.Encode(head); err != nil {
+		s.observeQuery(ctx, ds, canon, tr, st, est, cached, time.Since(start), 0, err.Error(), debug, &queryResult{})
+		return
+	}
+	rc.Flush() // first byte out before any row is computed
+
+	limit := s.pageLimit(ent.Limit)
+	sp := tr.Start("stream")
+	var n int64
+	var more bool
+	var streamErr error
+	for skipped := int64(0); skipped < offset && streamErr == nil; skipped++ {
+		if _, ok := cur.Next(); !ok {
+			streamErr = cur.Err()
+			break
+		}
+	}
+	if streamErr == nil {
+		for limit <= 0 || n < int64(limit) {
+			row, ok := cur.Next()
+			if !ok {
+				streamErr = cur.Err()
+				break
+			}
+			if err := enc.Encode(ndjsonRow{Row: row}); err != nil {
+				streamErr = fmt.Errorf("write: %w", err) // client went away
+				break
+			}
+			n++
+			if n%int64(s.cfg.StreamBuffer) == 0 {
+				rc.Flush()
+			}
+		}
+		if streamErr == nil && limit > 0 && n == int64(limit) {
+			if _, ok := cur.Next(); ok {
+				more = true
+			} else {
+				streamErr = cur.Err()
+			}
+		}
+	}
+	sp.AttrInt("rows", n)
+	sp.End()
+
+	trailer := ndjsonTrailer{
+		Done: true,
+		Rows: n,
+		Stats: &resultStats{
+			Input:        st.Input,
+			PruneInput:   st.PruneInput,
+			EnumInput:    st.EnumInput,
+			IndexLookups: st.Index,
+			Intermediate: st.Intermediate,
+			Results:      n,
+			EvalMillis:   float64(time.Since(start).Microseconds()) / 1000,
+		},
+	}
+	if more {
+		trailer.NextCursor = encodePageToken(ds, canon, offset+n)
+	}
+	errMsg := ""
+	if streamErr != nil {
+		if errors.Is(streamErr, context.DeadlineExceeded) || errors.Is(streamErr, context.Canceled) {
+			s.timeouts.Add(1)
+		}
+		errMsg = streamErr.Error()
+		trailer.Error = errMsg
+	}
+	enc.Encode(trailer)
+	rc.Flush()
+
+	s.indexLookups.Add(st.Index)
+	s.rows.Add(n)
+	s.rowsStreamed.Add(n)
+	s.observeQuery(ctx, ds, canon, tr, st, est, cached, time.Since(start), n, errMsg, debug, &queryResult{})
+}

@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+	"gtpq/internal/gtea"
+	"gtpq/internal/obs"
+)
+
+// mergeCursor k-way-merges per-shard canonical-order cursors into one
+// canonical-order stream without materializing: it holds exactly one
+// remapped head row per child. Adjacent equal rows are skipped —
+// vertices replicated onto several shards (hash partitioning cut
+// copies) produce the same tuple from each residence, and in a sorted
+// merge all copies are adjacent — which is the streaming counterpart of
+// gtea.MergeAnswers' dedup-by-Canonicalize.
+type mergeCursor struct {
+	out      []int
+	children []gtea.Cursor
+	// remaps[i], when non-nil, rewrites child i's rows into global ids.
+	// Remapping by an ascending globals slice is monotone, so it
+	// preserves each child's canonical order.
+	remaps [][]graph.NodeID
+	heads  [][]graph.NodeID // current row per child; nil = exhausted
+	// cur is the last row handed out, alt the assembly buffer for the
+	// next one; they alternate so the emitted row stays valid until the
+	// following Next while still being comparable for dedup.
+	cur, alt []graph.NodeID
+	onClose  func()
+
+	err    error
+	closed bool
+	rows   int64
+}
+
+// MergeCursors merges canonical-order cursors over the same output
+// columns into a single deduplicating canonical-order cursor. onClose,
+// if non-nil, runs once when the merge is closed or drained — the
+// sharded engine hangs its scatter-context cancel there. Rows must
+// already be in the final id space; the engine path applies per-shard
+// global remapping internally.
+func MergeCursors(out []int, children []gtea.Cursor, onClose func()) gtea.Cursor {
+	return newMergeCursor(out, children, nil, onClose)
+}
+
+func newMergeCursor(out []int, children []gtea.Cursor, remaps [][]graph.NodeID, onClose func()) *mergeCursor {
+	m := &mergeCursor{
+		out:      out,
+		children: children,
+		remaps:   remaps,
+		heads:    make([][]graph.NodeID, len(children)),
+		cur:      make([]graph.NodeID, len(out)),
+		alt:      make([]graph.NodeID, len(out)),
+		onClose:  onClose,
+	}
+	for i := range children {
+		m.heads[i] = make([]graph.NodeID, len(out))
+		m.advance(i)
+	}
+	return m
+}
+
+// advance pulls child i's next row into its head buffer (remapped),
+// marking the child exhausted — and latching its error — at the end.
+func (m *mergeCursor) advance(i int) {
+	row, ok := m.children[i].Next()
+	if !ok {
+		if err := m.children[i].Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		m.heads[i] = nil
+		return
+	}
+	head := m.heads[i]
+	if m.remaps != nil && m.remaps[i] != nil {
+		g := m.remaps[i]
+		for j, v := range row {
+			head[j] = g[v]
+		}
+	} else {
+		copy(head, row)
+	}
+}
+
+func (m *mergeCursor) Out() []int { return m.out }
+
+func (m *mergeCursor) Next() ([]graph.NodeID, bool) {
+	if m.closed || m.err != nil {
+		return nil, false
+	}
+	for {
+		// Linear-scan min: shard counts are small (single digits), where
+		// a scan beats heap bookkeeping.
+		min := -1
+		for i, h := range m.heads {
+			if h == nil {
+				continue
+			}
+			if min == -1 || core.CompareTuples(h, m.heads[min]) < 0 {
+				min = i
+			}
+		}
+		if min == -1 {
+			m.finish()
+			return nil, false
+		}
+		copy(m.alt, m.heads[min])
+		m.advance(min)
+		if m.err != nil {
+			m.finish()
+			return nil, false
+		}
+		if m.rows > 0 && core.CompareTuples(m.alt, m.cur) == 0 {
+			continue // replica duplicate
+		}
+		m.cur, m.alt = m.alt, m.cur
+		m.rows++
+		return m.cur, true
+	}
+}
+
+func (m *mergeCursor) Err() error  { return m.err }
+func (m *mergeCursor) Rows() int64 { return m.rows }
+
+// Buffered reports whether the whole merged result is resident anyway —
+// true only when every child materialized.
+func (m *mergeCursor) Buffered() bool {
+	for _, c := range m.children {
+		if !c.Buffered() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mergeCursor) Close() {
+	if !m.closed {
+		m.closed = true
+		m.finish()
+	}
+}
+
+// finish closes every child and runs the onClose hook exactly once.
+func (m *mergeCursor) finish() {
+	for i, c := range m.children {
+		if c != nil {
+			c.Close()
+			m.children[i] = nil
+		}
+	}
+	if m.onClose != nil {
+		m.onClose()
+		m.onClose = nil
+	}
+}
+
+// EvalCursor scatter-opens a per-shard cursor on the worker pool and
+// returns their streaming k-way merge. Pruning and per-component
+// collection run eagerly per shard during this call (as in the flat
+// engine); only the cross-component products and the global merge
+// stream. Closing the returned cursor — at any point of the drain —
+// closes every shard cursor and cancels the scatter context; callers
+// must Close it even after a clean drain. Stats sum the per-shard
+// counters; Results stays 0 (use Cursor.Rows after the drain). Safe for
+// concurrent use.
+func (se *ShardedEngine) EvalCursor(ctx context.Context, q *core.Query) (gtea.Cursor, gtea.Stats, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	scatter := obs.SpanFrom(cctx)
+
+	type result struct {
+		cur gtea.Cursor
+		st  gtea.Stats
+		err error
+	}
+	results := make([]result, len(se.shards))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < se.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				u := se.shards[si]
+				sctx := cctx
+				var sp *obs.Span
+				if scatter != nil {
+					sp = scatter.Start("shard_" + strconv.Itoa(si))
+					sctx = obs.ContextWithSpan(cctx, sp)
+				}
+				t0 := time.Now()
+				cur, st, err := u.eng.EvalCursor(sctx, q)
+				u.evals.Add(1)
+				u.evalNs.Add(time.Since(t0).Nanoseconds())
+				sp.End()
+				if err != nil {
+					cancel() // a failed shard makes the merge impossible
+				}
+				results[si] = result{cur, st, err}
+			}
+		}()
+	}
+	for si := range se.shards {
+		jobs <- si
+	}
+	close(jobs)
+	wg.Wait()
+
+	var agg gtea.Stats
+	var firstErr error
+	for _, r := range results {
+		agg.Input += r.st.Input
+		agg.PruneInput += r.st.PruneInput
+		agg.EnumInput += r.st.EnumInput
+		agg.Index += r.st.Index
+		agg.Intermediate += r.st.Intermediate
+		agg.PruneTime += r.st.PruneTime
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	agg.TotalTime = time.Since(start)
+	if firstErr != nil {
+		for _, r := range results {
+			if r.cur != nil {
+				r.cur.Close()
+			}
+		}
+		cancel()
+		return nil, agg, firstErr
+	}
+	children := make([]gtea.Cursor, len(results))
+	remaps := make([][]graph.NodeID, len(results))
+	for i, r := range results {
+		children[i] = r.cur
+		remaps[i] = se.shards[i].globals
+	}
+	out := append([]int(nil), children[0].Out()...)
+	// The merge cursor owns the scatter context now: Close (or a full
+	// drain) cancels it, releasing any deadline timers up the chain.
+	return newMergeCursor(out, children, remaps, cancel), agg, nil
+}
