@@ -1,0 +1,109 @@
+// Command gtpq-route fronts a fleet of gtpq-serve processes: one
+// primary (which receives every POST /update) plus read replicas that
+// follow it with -follow (see internal/repl). The router probes each
+// backend's GET /readyz, spreads queries round-robin across the
+// in-sync set, retries idempotent reads on another backend when one
+// fails mid-request, and — when nothing is in sync — either serves
+// stale answers marked with X-GTPQ-Stale: 1 (-stale-ok) or sheds with
+// 503.
+//
+// Usage:
+//
+//	gtpq-route -primary http://primary:8080 \
+//	    -replicas http://r1:8081,http://r2:8082 -listen :8000
+//	gtpq-route -primary http://primary:8080 -stale-ok   # degrade, don't shed
+//
+// The router's own endpoints: GET /healthz (liveness), GET /readyz
+// (200 while any backend is ready), GET /metrics (gtpq_router_*
+// families), GET /backends (probe state as JSON). Everything else is
+// proxied.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gtpq/internal/repl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gtpq-route: ")
+	var (
+		listen      = flag.String("listen", ":8000", "listen address")
+		primary     = flag.String("primary", "", "primary base URL, receives all writes (required)")
+		replicas    = flag.String("replicas", "", "comma-separated replica base URLs for reads (default: the primary)")
+		healthEvery = flag.Duration("health-interval", 500*time.Millisecond, "readiness probe period")
+		failAfter   = flag.Int("fail-after", 2, "consecutive probe failures before a backend is marked down")
+		retryBudget = flag.Int("retry-budget", 2, "extra backends an idempotent read may retry on")
+		staleOK     = flag.Bool("stale-ok", false, "when no backend is in sync, serve from a lagging one with X-GTPQ-Stale: 1 instead of shedding with 503")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-attempt proxy deadline")
+		maxBody     = flag.Int64("max-body-bytes", 4<<20, "largest request body the router will buffer for retryable forwarding")
+	)
+	flag.Parse()
+	if *primary == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var reps []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			reps = append(reps, strings.TrimRight(r, "/"))
+		}
+	}
+
+	rt, err := repl.NewRouter(repl.RouterConfig{
+		Primary:        strings.TrimRight(*primary, "/"),
+		Replicas:       reps,
+		HealthInterval: *healthEvery,
+		FailAfter:      *failAfter,
+		RetryBudget:    *retryBudget,
+		StaleOK:        *staleOK,
+		Timeout:        *timeout,
+		MaxBodyBytes:   *maxBody,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Start()
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		rt.Stop()
+		close(done)
+	}()
+
+	backends := append([]string{}, reps...)
+	if len(backends) == 0 {
+		backends = []string{*primary}
+	}
+	log.Printf("routing %s -> primary %s, reads across %s",
+		*listen, *primary, strings.Join(backends, ", "))
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

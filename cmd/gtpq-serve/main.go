@@ -57,7 +57,9 @@ import (
 	"time"
 
 	"gtpq/internal/catalog"
+	"gtpq/internal/obs"
 	"gtpq/internal/reach"
+	"gtpq/internal/repl"
 	"gtpq/internal/server"
 )
 
@@ -86,6 +88,15 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty: disabled)")
 		logFormat = flag.String("log-format", "text", "request logging: text (startup logs only) or json (one structured line per request on stderr)")
 		logSample = flag.Int("log-sample", 1, "with -log-format=json, log every Nth request")
+
+		follow    = flag.String("follow", "", "primary base URL to replicate from; makes this server a read-only replica (see internal/repl)")
+		followDS  = flag.String("follow-datasets", "", "comma-separated datasets to follow (default: everything the primary serves)")
+		maxLag    = flag.Int("max-lag", 64, "with -follow, batches behind the primary before /readyz reports not-ready")
+		replMin   = flag.Duration("repl-retry-min", 50*time.Millisecond, "with -follow, first retry delay after a failed fetch")
+		replMax   = flag.Duration("repl-retry-max", 5*time.Second, "with -follow, retry delay ceiling")
+		replChunk = flag.Int("repl-chunk", 1<<20, "with -follow, max log bytes fetched per round")
+		replWait  = flag.Duration("repl-wait", 2*time.Second, "with -follow, long-poll budget while caught up")
+		replSeed  = flag.Int64("repl-seed", 0, "with -follow, jitter seed (0: fixed default; give each replica its own to decorrelate retries)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -158,6 +169,37 @@ func main() {
 		SlowLogSize:      *slowSize,
 		AccessLogSample:  *logSample,
 	}
+
+	// Replica mode: tail the primary's delta logs, refuse direct writes,
+	// and report /readyz only while every followed dataset is in sync
+	// within -max-lag (the router routes around anything that is not).
+	// The tailer's gtpq_repl_* metrics share the server's registry so one
+	// /metrics scrape covers both.
+	var tailer *repl.Tailer
+	if *follow != "" {
+		var followList []string
+		for _, name := range strings.Split(*followDS, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				followList = append(followList, name)
+			}
+		}
+		tailer = repl.NewTailer(cat,
+			&repl.HTTPClient{BaseURL: strings.TrimRight(*follow, "/")},
+			repl.TailerConfig{
+				Datasets:   followList,
+				MaxLag:     *maxLag,
+				ChunkBytes: *replChunk,
+				PollWait:   *replWait,
+				Backoff:    repl.Backoff{Min: *replMin, Max: *replMax},
+				Seed:       *replSeed,
+				Logf:       log.Printf,
+			})
+		reg := obs.NewRegistry()
+		tailer.Register(reg)
+		cfg.Registry = reg
+		cfg.ReadOnly = true
+		cfg.ReadyCheck = tailer.Ready
+	}
 	switch *logFormat {
 	case "text", "":
 	case "json":
@@ -166,6 +208,13 @@ func main() {
 		log.Fatalf("invalid -log-format value %q (want text or json)", *logFormat)
 	}
 	srv := server.New(cat, cfg)
+
+	if tailer != nil {
+		if err := tailer.Start(); err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		log.Printf("replica mode: following %s (max lag %d batches)", *follow, *maxLag)
+	}
 
 	if *pprofAddr != "" {
 		// pprof stays off the API listener: profiling endpoints expose
@@ -209,6 +258,9 @@ func main() {
 		}
 		if err := srv.Drain(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if tailer != nil {
+			tailer.Stop() // before Close: no applies against a closing catalog
 		}
 		if err := cat.Close(); err != nil {
 			log.Printf("shutdown: flushing delta logs: %v", err)

@@ -23,7 +23,7 @@ func nsDur(ns int64) time.Duration { return time.Duration(ns) }
 // JSON but not gated.
 
 // gatedExperiments are the record kinds the regression gate compares.
-var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true, "stream": true}
+var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true, "stream": true, "repl": true}
 
 // A record must additionally clear an absolute noise floor to count
 // as a regression: sub-millisecond records swing several-fold on a
@@ -59,6 +59,7 @@ type checkKey struct {
 	PlanMode   string
 	ObsMode    string
 	StreamMode string
+	ReplMode   string
 }
 
 func keyOf(r Record) checkKey {
@@ -73,6 +74,7 @@ func keyOf(r Record) checkKey {
 		PlanMode:   r.PlanMode,
 		ObsMode:    r.ObsMode,
 		StreamMode: r.StreamMode,
+		ReplMode:   r.ReplMode,
 	}
 }
 
@@ -101,6 +103,9 @@ func (k checkKey) String() string {
 	}
 	if k.StreamMode != "" {
 		s += "/mode=" + k.StreamMode
+	}
+	if k.ReplMode != "" {
+		s += "/fleet=" + k.ReplMode
 	}
 	return s
 }

@@ -228,4 +228,6 @@ func (r *Runner) All() {
 	r.Observability()
 	r.printf("\n")
 	r.Stream()
+	r.printf("\n")
+	r.Repl()
 }

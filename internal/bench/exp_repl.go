@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/delta"
+	"gtpq/internal/graph"
+	"gtpq/internal/graphio"
+	"gtpq/internal/repl"
+	"gtpq/internal/server"
+)
+
+// The repl experiment prices the replica fleet (internal/repl): how
+// far a tailing replica falls behind under a sustained update rate
+// (and how fast it converges once writes stop), and what the failover
+// router costs on the read path — healthy, and in steady-state after
+// one backend is killed. The whole fleet runs in-process over
+// loopback HTTP, so the numbers isolate the replication machinery
+// from real network variance.
+
+// replRates is the update ladder, in mutation batches per second.
+var replRates = []int{50, 200, 800}
+
+const (
+	replBurst   = 250 * time.Millisecond // per-rate write window
+	replQueries = 200                    // router latency sample count
+)
+
+// replLagPoint is one rung of the lag-vs-update-rate ladder.
+type replLagPoint struct {
+	Rate     int           // batches/sec offered
+	Applied  int           // batches actually written in the window
+	MaxLag   int64         // worst batch lag sampled while writing
+	Converge time.Duration // writes-stop to fully-synced
+}
+
+// replResult is everything the repl experiment measures.
+type replResult struct {
+	Lag          []replLagPoint
+	HealthyP99   time.Duration // router read p99, both backends ready
+	DegradedP99  time.Duration // router read p99, replica killed (steady state)
+	HealthyP50   time.Duration
+	DegradedP50  time.Duration
+	ReplicaNodes int
+	PrimaryNodes int
+}
+
+// replGraph builds the fixture: a few hundred labeled nodes so query
+// evaluation is cheap and the measurement stays on the replication
+// and routing path.
+func replGraph() *graph.Graph {
+	const n = 300
+	g := graph.New(n, n-1)
+	for i := 0; i < n; i++ {
+		g.AddNode(string("abc"[i%3]), nil)
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(i/2), graph.NodeID(i))
+	}
+	g.Freeze()
+	return g
+}
+
+// replMeasure runs the full fleet measurement once.
+func (r *Runner) replMeasure() (replResult, error) {
+	var res replResult
+
+	pdir, err := os.MkdirTemp("", "gtpq-bench-repl-primary-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(pdir)
+	rdir, err := os.MkdirTemp("", "gtpq-bench-repl-replica-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(rdir)
+
+	g := replGraph()
+	var buf bytes.Buffer
+	if err := graphio.Save(&buf, g); err != nil {
+		return res, err
+	}
+	if err := os.WriteFile(filepath.Join(pdir, "d.json"), buf.Bytes(), 0o644); err != nil {
+		return res, err
+	}
+
+	pcat, err := catalog.Open(pdir, catalog.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer pcat.Close()
+	psrv := httptest.NewServer(server.New(pcat, server.Config{}).Handler())
+	defer psrv.Close()
+
+	rcat, err := catalog.Open(rdir, catalog.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer rcat.Close()
+	tailer := repl.NewTailer(rcat, &repl.HTTPClient{BaseURL: psrv.URL}, repl.TailerConfig{
+		Datasets: []string{"d"},
+		PollWait: 10 * time.Millisecond,
+		Backoff:  repl.Backoff{Min: time.Millisecond, Max: 50 * time.Millisecond},
+	})
+	rsrv := httptest.NewServer(server.New(rcat, server.Config{
+		ReadOnly: true, ReadyCheck: tailer.Ready,
+	}).Handler())
+	defer rsrv.Close()
+	if err := tailer.Start(); err != nil {
+		return res, err
+	}
+	defer tailer.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := tailer.WaitSync(ctx, "d"); err != nil {
+		return res, err
+	}
+
+	// Lag ladder: offer each rate for a fixed window while sampling the
+	// replica's batch lag, then time convergence after the last write.
+	nodes := g.N()
+	for _, rate := range replRates {
+		point := replLagPoint{Rate: rate}
+		var stop atomic.Bool
+		sampled := make(chan int64, 1)
+		go func() {
+			var maxLag int64
+			for !stop.Load() {
+				if lag, ok := tailer.Lag("d"); ok && lag > maxLag {
+					maxLag = lag
+				}
+				time.Sleep(time.Millisecond)
+			}
+			sampled <- maxLag
+		}()
+
+		interval := time.Second / time.Duration(rate)
+		start := time.Now()
+		next := start
+		for time.Since(start) < replBurst {
+			b := delta.Batch{
+				Nodes: []delta.NodeAdd{{Label: string("abc"[nodes%3])}},
+				Edges: []delta.EdgeAdd{{From: graph.NodeID(nodes / 2), To: graph.NodeID(nodes)}},
+			}
+			ds, err := pcat.ApplyDelta("d", b)
+			if err != nil {
+				stop.Store(true)
+				<-sampled
+				return res, err
+			}
+			nodes = ds.Nodes()
+			ds.Release()
+			point.Applied++
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		convergeStart := time.Now()
+		wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := tailer.WaitSync(wctx, "d")
+		wcancel()
+		stop.Store(true)
+		point.MaxLag = <-sampled
+		if err != nil {
+			return res, err
+		}
+		point.Converge = time.Since(convergeStart)
+		res.Lag = append(res.Lag, point)
+	}
+	res.PrimaryNodes = nodes
+	res.ReplicaNodes = nodes
+
+	// Router read latency, healthy: both backends in rotation.
+	router, err := repl.NewRouter(repl.RouterConfig{
+		Primary:        psrv.URL,
+		Replicas:       []string{psrv.URL, rsrv.URL},
+		HealthInterval: 20 * time.Millisecond,
+		FailAfter:      2,
+	})
+	if err != nil {
+		return res, err
+	}
+	router.Start()
+	defer router.Stop()
+	rts := httptest.NewServer(router.Handler())
+	defer rts.Close()
+
+	if err := replWaitBackend(rts.URL, rsrv.URL, true); err != nil {
+		return res, err
+	}
+	res.HealthyP50, res.HealthyP99, err = replRouterLatency(rts.URL, replQueries)
+	if err != nil {
+		return res, err
+	}
+
+	// Kill the replica; measure again once the router has routed around
+	// it (steady-state degraded, not the transient failover window).
+	rsrv.CloseClientConnections()
+	rsrv.Close()
+	if err := replWaitBackend(rts.URL, rsrv.URL, false); err != nil {
+		return res, err
+	}
+	res.DegradedP50, res.DegradedP99, err = replRouterLatency(rts.URL, replQueries)
+	return res, err
+}
+
+// replWaitBackend polls the router's /backends until url reports the
+// wanted readiness.
+func replWaitBackend(routerURL, backendURL string, ready bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(routerURL + "/backends")
+		if err != nil {
+			return err
+		}
+		var body struct {
+			Backends []struct {
+				URL   string `json:"url"`
+				Ready bool   `json:"ready"`
+			} `json:"backends"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		for _, b := range body.Backends {
+			if b.URL == backendURL && b.Ready == ready {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: backend %s never became ready=%v", backendURL, ready)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// replRouterLatency issues n reads through the router and returns the
+// p50 and p99 request latencies.
+func replRouterLatency(routerURL string, n int) (p50, p99 time.Duration, err error) {
+	body := []byte(`{"dataset":"d","query":"node x label=a output","timeout_ms":30000}`)
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		resp, err := http.Post(routerURL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("bench: routed query status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)/2], lat[len(lat)*99/100], nil
+}
+
+// Repl prints the replication experiment.
+func (r *Runner) Repl() {
+	res, err := r.replMeasure()
+	if err != nil {
+		r.printf("repl experiment failed: %v\n", err)
+		return
+	}
+	r.printf("== Replication: tailing lag vs update rate; router read latency ==\n")
+	r.printf("%-12s %10s %10s %12s\n", "rate (b/s)", "applied", "max-lag", "converge")
+	for _, p := range res.Lag {
+		r.printf("%-12d %10d %10d %12s\n", p.Rate, p.Applied, p.MaxLag, fmtDur(p.Converge))
+	}
+	r.printf("router read latency (%d queries):\n", replQueries)
+	r.printf("%-12s %10s %10s\n", "fleet", "p50", "p99")
+	r.printf("%-12s %10s %10s\n", "healthy", fmtDur(res.HealthyP50), fmtDur(res.HealthyP99))
+	r.printf("%-12s %10s %10s\n", "degraded", fmtDur(res.DegradedP50), fmtDur(res.DegradedP99))
+}
+
+// replRecords emits the machine-readable repl experiment: one
+// ungated trajectory record per lag rung (convergence time and max
+// lag ride in dedicated fields), plus two gated router latency
+// records (p99 as the op latency, p50 alongside).
+func (r *Runner) replRecords() []Record {
+	res, err := r.replMeasure()
+	if err != nil {
+		panic(fmt.Sprintf("bench: repl records: %v", err))
+	}
+	var recs []Record
+	for _, p := range res.Lag {
+		recs = append(recs, Record{
+			Experiment:    "repl",
+			Query:         "tail",
+			ReplMode:      "tail",
+			UpdateRate:    p.Rate,
+			Requests:      int64(p.Applied),
+			MaxLagBatches: p.MaxLag,
+			ConvergeNs:    p.Converge.Nanoseconds(),
+		})
+	}
+	for _, m := range []struct {
+		mode string
+		p50  time.Duration
+		p99  time.Duration
+	}{
+		{"router-healthy", res.HealthyP50, res.HealthyP99},
+		{"router-degraded", res.DegradedP50, res.DegradedP99},
+	} {
+		recs = append(recs, Record{
+			Experiment: "repl",
+			Query:      "Q-scan",
+			ReplMode:   m.mode,
+			Requests:   replQueries,
+			NsPerOp:    m.p99.Nanoseconds(),
+			P50Ns:      m.p50.Nanoseconds(),
+		})
+	}
+	return recs
+}

@@ -60,7 +60,12 @@ func (r *Runner) streamSetup() (*gtea.Engine, *graph.Graph) {
 }
 
 // heapLive returns the post-GC live heap, for before/after deltas.
+// Two GC cycles, because sync.Pool contents survive the first one (as
+// victim caches): a single collection would leave pool memory from
+// earlier work in the baseline sample but not in the later one,
+// skewing the delta negative by however much the pools held.
 func heapLive() int64 {
+	runtime.GC()
 	runtime.GC()
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)

@@ -77,6 +77,17 @@ type Record struct {
 	StreamMode string `json:"stream_mode,omitempty"`
 	TTFRNs     int64  `json:"ttfr_ns,omitempty"`
 	PeakBytes  int64  `json:"peak_bytes,omitempty"`
+
+	// Repl experiment fields: which part of the fleet the record
+	// measures ("tail" lag rungs vs "router-healthy"/"router-degraded"
+	// read latency), the offered update rate in batches/sec, the worst
+	// batch lag sampled while writing, convergence time after writes
+	// stop, and the p50 companion to the p99 carried in NsPerOp.
+	ReplMode      string `json:"repl_mode,omitempty"`
+	UpdateRate    int    `json:"update_rate,omitempty"`
+	MaxLagBatches int64  `json:"max_lag_batches,omitempty"`
+	ConvergeNs    int64  `json:"converge_ns,omitempty"`
+	P50Ns         int64  `json:"p50_ns,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -176,6 +187,8 @@ func (r *Runner) JSONRecords() []Record {
 	recs = append(recs, r.obsRecords()...)
 	// Streamed vs materialized delivery on the fan product.
 	recs = append(recs, r.streamRecords()...)
+	// Replica-fleet lag ladder + router failover latency.
+	recs = append(recs, r.replRecords()...)
 	r.jsonRecords = recs
 	return recs
 }

@@ -230,6 +230,10 @@ type entry struct {
 	batches   []delta.Batch
 	replay    time.Duration
 	buildKind string // backend kind a compaction rebuilds with
+	// baseID memoizes delta.BaseOf(dbase.g) for the replication
+	// handlers (repl.go); filled and read under the dlog mutex, carried
+	// across delta swaps because the base is unchanged.
+	baseID *delta.BaseID
 }
 
 // deltaBase is the frozen foundation live updates extend.

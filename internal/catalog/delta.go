@@ -311,6 +311,7 @@ func (c *Catalog) applyDeltaOnce(name string, b delta.Batch) (*Dataset, error) {
 		c: c, name: name, ready: make(chan struct{}), refs: 1,
 		srcPath: e.srcPath, srcMod: e.srcMod,
 		dbase: base, se: e.se, replay: e.replay, buildKind: e.buildKind,
+		baseID: e.baseID,
 		ds: &Dataset{
 			Name: name, Source: e.ds.Source, Sharded: e.ds.Sharded,
 			FromSnapshot: e.ds.FromSnapshot,

@@ -63,6 +63,11 @@ const LogSuffix = ".deltas.log"
 
 const headerLen = len(LogMagic) + 3*8 + 4
 
+// HeaderLen is the byte length of a delta log header — the offset of
+// the first record frame. Replication tailers use it to know where
+// frame parsing starts when a chunk begins at offset zero.
+const HeaderLen = headerLen
+
 // maxRecordBytes bounds one record's payload; larger lengths are
 // corruption by definition (an /update body is capped far below this).
 const maxRecordBytes = 64 << 20
@@ -233,6 +238,66 @@ func encodeHeader(base BaseID) []byte {
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 }
 
+// ErrFrameCorrupt wraps every CRC or structure violation NextFrame
+// detects inside a record frame. Replication tailers key off it: a
+// corrupt frame in a fetched chunk is re-fetched from the last durable
+// offset (transport damage heals), while the same error during a cold
+// replay of the local file is hard corruption.
+var ErrFrameCorrupt = errors.New("delta: corrupt record frame")
+
+// ParseHeader verifies that raw begins with a delta log header and
+// returns the base fingerprint it names. Exactly HeaderLen bytes are
+// consumed; callers with less than HeaderLen bytes must wait for more.
+func ParseHeader(raw []byte) (BaseID, error) {
+	if len(raw) < headerLen {
+		return BaseID{}, fmt.Errorf("delta: log header needs %d bytes, have %d", headerLen, len(raw))
+	}
+	if string(raw[:len(LogMagic)]) != LogMagic {
+		return BaseID{}, fmt.Errorf("delta: missing %s magic", LogMagic)
+	}
+	if got := binary.LittleEndian.Uint32(raw[headerLen-4 : headerLen]); got != crc32.ChecksumIEEE(raw[:headerLen-4]) {
+		return BaseID{}, errors.New("delta: log header CRC mismatch")
+	}
+	return BaseID{
+		Nodes: int(binary.LittleEndian.Uint64(raw[8:16])),
+		Edges: int(binary.LittleEndian.Uint64(raw[16:24])),
+		Hash:  binary.LittleEndian.Uint64(raw[24:32]),
+	}, nil
+}
+
+// NextFrame parses the record frame at the start of raw. It returns
+// the decoded batch and the total frame length consumed. An incomplete
+// frame (the tail of a chunk that ends mid-record, or a torn append)
+// returns n == 0 with a nil error — the caller waits for more bytes.
+// Any CRC or structure violation inside a complete-looking frame
+// returns an error wrapping ErrFrameCorrupt. NextFrame does not
+// validate edge endpoints against a vertex count; appliers do.
+func NextFrame(raw []byte) (b Batch, n int, err error) {
+	if len(raw) < 8 {
+		return b, 0, nil // incomplete frame header
+	}
+	payLen := binary.LittleEndian.Uint32(raw[0:4])
+	if got := binary.LittleEndian.Uint32(raw[4:8]); got != crc32.ChecksumIEEE(raw[0:4]) {
+		return b, 0, fmt.Errorf("%w: length CRC mismatch", ErrFrameCorrupt)
+	}
+	if payLen > maxRecordBytes {
+		return b, 0, fmt.Errorf("%w: implausible length %d", ErrFrameCorrupt, payLen)
+	}
+	total := 8 + int(payLen) + 4
+	if len(raw) < total {
+		return b, 0, nil // incomplete payload
+	}
+	payload := raw[8 : 8+payLen]
+	if got := binary.LittleEndian.Uint32(raw[8+payLen : 8+payLen+4]); got != crc32.ChecksumIEEE(payload) {
+		return b, 0, fmt.Errorf("%w: payload CRC mismatch", ErrFrameCorrupt)
+	}
+	b, err = decodeBatch(payload)
+	if err != nil {
+		return b, 0, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
+	}
+	return b, total, nil
+}
+
 // Replay reads a log from raw bytes, verifying it against base.
 // It returns the decoded batches, the byte offset of the last complete
 // record (callers truncate the file there before appending), and
@@ -261,35 +326,19 @@ func Replay(raw []byte, base BaseID) (batches []Batch, goodLen int, torn bool, e
 	off := headerLen
 	vertices := base.Nodes
 	for off < len(raw) {
-		rest := raw[off:]
-		if len(rest) < 8 {
-			return batches, off, true, nil // torn frame header
-		}
-		payLen := binary.LittleEndian.Uint32(rest[0:4])
-		if got := binary.LittleEndian.Uint32(rest[4:8]); got != crc32.ChecksumIEEE(rest[0:4]) {
-			return nil, 0, false, fmt.Errorf("delta: record at offset %d: length CRC mismatch", off)
-		}
-		if payLen > maxRecordBytes {
-			return nil, 0, false, fmt.Errorf("delta: record at offset %d: implausible length %d", off, payLen)
-		}
-		total := 8 + int(payLen) + 4
-		if len(rest) < total {
-			return batches, off, true, nil // torn payload: crashed append
-		}
-		payload := rest[8 : 8+payLen]
-		if got := binary.LittleEndian.Uint32(rest[8+payLen : 8+payLen+4]); got != crc32.ChecksumIEEE(payload) {
-			return nil, 0, false, fmt.Errorf("delta: record at offset %d: payload CRC mismatch", off)
-		}
-		b, err := decodeBatch(payload)
+		b, n, err := NextFrame(raw[off:])
 		if err != nil {
 			return nil, 0, false, fmt.Errorf("delta: record at offset %d: %w", off, err)
+		}
+		if n == 0 {
+			return batches, off, true, nil // torn frame: crashed append
 		}
 		if err := b.Validate(vertices); err != nil {
 			return nil, 0, false, fmt.Errorf("delta: record at offset %d: %w", off, err)
 		}
 		vertices += len(b.Nodes)
 		batches = append(batches, b)
-		off += total
+		off += n
 	}
 	return batches, off, false, nil
 }

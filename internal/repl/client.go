@@ -1,0 +1,172 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client fetches replication data from a primary. The HTTP
+// implementation below is the production transport; the fault package
+// wraps any Client to inject transport damage, so the tailer verifies
+// chunk integrity itself rather than trusting its Client.
+type Client interface {
+	// FetchLog returns raw log bytes from offset from (at most max),
+	// long-polling up to wait when the primary has nothing new.
+	FetchLog(ctx context.Context, dataset string, from int64, max int, wait time.Duration) (Chunk, error)
+	// FetchBase returns the frozen base: a snapshot stream for a flat
+	// dataset, the manifest (State.Sharded set) for a sharded one.
+	FetchBase(ctx context.Context, dataset string) (Chunk, error)
+	// FetchBaseFile returns one file of a sharded base.
+	FetchBaseFile(ctx context.Context, dataset, file string) (Chunk, error)
+	// ListDatasets names the datasets the primary serves.
+	ListDatasets(ctx context.Context) ([]string, error)
+}
+
+// HTTPClient talks to a gtpq-serve primary.
+type HTTPClient struct {
+	// BaseURL is the primary's root URL (e.g. "http://10.0.0.1:8080").
+	BaseURL string
+	// HC is the underlying client (default http.DefaultClient; requests
+	// are bounded by their contexts, long-polls included).
+	HC *http.Client
+}
+
+func (c *HTTPClient) hc() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+// get issues one GET and fails non-200s with the body's first line.
+func (c *HTTPClient) get(ctx context.Context, path string, q url.Values) (*http.Response, error) {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("repl: %s: status %d: %s", u, resp.StatusCode, firstLine(msg))
+	}
+	return resp, nil
+}
+
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// readChunk drains a repl response into a Chunk (headers parsed, body
+// read whole; bodies are bounded by the source's MaxChunk).
+func readChunk(resp *http.Response) (Chunk, error) {
+	defer resp.Body.Close()
+	var ch Chunk
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ch, fmt.Errorf("repl: reading chunk body: %w", err)
+	}
+	ch.Data = data
+	if v := resp.Header.Get(HeaderCRC); v != "" {
+		crc, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return ch, fmt.Errorf("repl: malformed %s header %q", HeaderCRC, v)
+		}
+		ch.CRC = uint32(crc)
+	}
+	if v := resp.Header.Get(HeaderBase); v != "" {
+		id, err := ParseBase(v)
+		if err != nil {
+			return ch, err
+		}
+		ch.State.Base = id
+	}
+	if v := resp.Header.Get(HeaderSize); v != "" {
+		ch.State.Size, _ = strconv.ParseInt(v, 10, 64)
+	}
+	if v := resp.Header.Get(HeaderBatches); v != "" {
+		ch.State.Batches, _ = strconv.Atoi(v)
+	}
+	if v := resp.Header.Get(HeaderGeneration); v != "" {
+		ch.State.Generation, _ = strconv.ParseUint(v, 10, 64)
+	}
+	ch.State.Sharded = resp.Header.Get(HeaderSharded) == "1"
+	return ch, nil
+}
+
+// FetchLog implements Client.
+func (c *HTTPClient) FetchLog(ctx context.Context, dataset string, from int64, max int, wait time.Duration) (Chunk, error) {
+	q := url.Values{
+		"dataset": {dataset},
+		"from":    {strconv.FormatInt(from, 10)},
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	if wait > 0 {
+		q.Set("wait_ms", strconv.Itoa(int(wait.Milliseconds())))
+	}
+	resp, err := c.get(ctx, "/repl/log", q)
+	if err != nil {
+		return Chunk{}, err
+	}
+	return readChunk(resp)
+}
+
+// FetchBase implements Client.
+func (c *HTTPClient) FetchBase(ctx context.Context, dataset string) (Chunk, error) {
+	resp, err := c.get(ctx, "/repl/base", url.Values{"dataset": {dataset}})
+	if err != nil {
+		return Chunk{}, err
+	}
+	return readChunk(resp)
+}
+
+// FetchBaseFile implements Client.
+func (c *HTTPClient) FetchBaseFile(ctx context.Context, dataset, file string) (Chunk, error) {
+	resp, err := c.get(ctx, "/repl/base", url.Values{"dataset": {dataset}, "file": {file}})
+	if err != nil {
+		return Chunk{}, err
+	}
+	return readChunk(resp)
+}
+
+// ListDatasets implements Client via the primary's GET /datasets.
+func (c *HTTPClient) ListDatasets(ctx context.Context) ([]string, error) {
+	resp, err := c.get(ctx, "/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Datasets []struct {
+			Name string `json:"name"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("repl: parsing dataset list: %w", err)
+	}
+	names := make([]string, 0, len(body.Datasets))
+	for _, d := range body.Datasets {
+		names = append(names, d.Name)
+	}
+	return names, nil
+}

@@ -1,0 +1,116 @@
+// Package repl replicates datasets between gtpq-serve processes by
+// tailing delta logs. The design splits frozen state from live
+// mutation the way the catalog already does on disk: the base (a
+// `.snap` snapshot or a SHA-256-manifested shard directory) is the
+// immutable object a replica ships once, and the base-fingerprinted
+// delta log is the journal it follows afterwards. Because the log
+// encoding is deterministic, a replica that re-applies the decoded
+// batches through its own catalog grows a byte-identical local log —
+// so the local log size IS the durable replication offset, restart
+// resume is the ordinary cold-replay path, and a replica can itself be
+// tailed (chained replication) with no extra machinery.
+//
+// The wire protocol is two GET endpoints on the primary (served by
+// internal/server):
+//
+//	GET /repl/log?dataset=X&from=N&max=M&wait_ms=W
+//	    raw log bytes from offset N (long-polling up to W ms when
+//	    nothing is new), with the log state in response headers and a
+//	    CRC32 of the body so transport damage is detected before any
+//	    frame is parsed.
+//	GET /repl/base?dataset=X[&file=F]
+//	    the frozen base: a snapshot stream for flat datasets, the
+//	    manifest (then per-file fetches, each SHA-256-verified) for
+//	    sharded ones.
+//
+// Faults are detected in layers: transport damage (drop, truncation,
+// duplication) by the chunk CRC; in-band frame corruption by the
+// delta log's own frame CRCs (delta.ErrFrameCorrupt); a wrong or
+// changed base — including a primary-side compaction fold — by the
+// base fingerprint, which triggers a re-sync from the new base. Every
+// failure class either heals by refetching from the durable offset or
+// surfaces as a typed error plus a gtpq_repl_* counter; none can
+// silently double-apply or skip a batch.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gtpq/internal/delta"
+)
+
+// Response headers carrying the log state alongside chunk bytes.
+const (
+	// HeaderBase is the base fingerprint ("nodes:edges:hash16").
+	HeaderBase = "X-GTPQ-Repl-Base"
+	// HeaderSize is the full log byte length at read time.
+	HeaderSize = "X-GTPQ-Repl-Size"
+	// HeaderBatches is the pending batch count over the base.
+	HeaderBatches = "X-GTPQ-Repl-Batches"
+	// HeaderGeneration is the serving catalog generation.
+	HeaderGeneration = "X-GTPQ-Repl-Generation"
+	// HeaderSharded marks a sharded dataset ("1"/"0").
+	HeaderSharded = "X-GTPQ-Repl-Sharded"
+	// HeaderCRC is the CRC32 (IEEE) of the response body.
+	HeaderCRC = "X-GTPQ-Repl-CRC"
+	// HeaderStale marks a router response served from a backend that
+	// was not in-sync at routing time (Config.StaleOK).
+	HeaderStale = "X-GTPQ-Stale"
+	// HeaderBackend names the backend a router response came from.
+	HeaderBackend = "X-GTPQ-Backend"
+)
+
+// ErrChunkCorrupt reports a fetched chunk whose body does not match
+// its CRC header — transport damage (truncation, duplication, a
+// flipped byte in flight). The tailer counts it and refetches from the
+// durable offset; it never applies any frame of a corrupt chunk.
+var ErrChunkCorrupt = errors.New("repl: chunk CRC mismatch")
+
+// ErrBaseMismatch reports a log or shipped base whose fingerprint does
+// not match what the replica expects. During tailing it signals the
+// primary's base changed (a compaction fold) and triggers re-sync;
+// after a base install it means the ship itself was inconsistent.
+var ErrBaseMismatch = errors.New("repl: base fingerprint mismatch")
+
+// State is the primary's log state for one dataset as carried in
+// response headers.
+type State struct {
+	Base       delta.BaseID
+	Size       int64
+	Batches    int
+	Generation uint64
+	Sharded    bool
+}
+
+// Chunk is one fetched response body plus its integrity and state
+// metadata. CRC is the header value as sent; the tailer verifies it
+// against Data so that an injected transport (internal/repl/fault)
+// sits between the two.
+type Chunk struct {
+	Data  []byte
+	CRC   uint32
+	State State
+}
+
+// FormatBase renders a base fingerprint for HeaderBase.
+func FormatBase(id delta.BaseID) string {
+	return fmt.Sprintf("%d:%d:%016x", id.Nodes, id.Edges, id.Hash)
+}
+
+// ParseBase parses a HeaderBase value.
+func ParseBase(s string) (delta.BaseID, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return delta.BaseID{}, fmt.Errorf("repl: malformed base fingerprint %q", s)
+	}
+	nodes, err1 := strconv.Atoi(parts[0])
+	edges, err2 := strconv.Atoi(parts[1])
+	hash, err3 := strconv.ParseUint(parts[2], 16, 64)
+	if err1 != nil || err2 != nil || err3 != nil || nodes < 0 || edges < 0 {
+		return delta.BaseID{}, fmt.Errorf("repl: malformed base fingerprint %q", s)
+	}
+	return delta.BaseID{Nodes: nodes, Edges: edges, Hash: hash}, nil
+}

@@ -1,0 +1,385 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gtpq/internal/obs"
+)
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Primary receives every write (POST /update). Required.
+	Primary string
+	// Replicas are the read backends queries spread across. The primary
+	// is appended automatically when the list is empty, so a one-node
+	// topology still routes.
+	Replicas []string
+	// HealthInterval is the /readyz probe period (default 500ms).
+	HealthInterval time.Duration
+	// FailAfter is how many consecutive probe failures mark a backend
+	// down (default 2) — one slow probe must not eject a replica.
+	FailAfter int
+	// RetryBudget is how many additional backends an idempotent read
+	// may be retried on after a 5xx or transport error (default 2).
+	// Writes are never retried — a timed-out update may have applied.
+	RetryBudget int
+	// StaleOK degrades gracefully when no backend is in-sync: serve
+	// from a lagging backend with an X-GTPQ-Stale header instead of
+	// failing with 503. Operator-selectable; default off (fail loud).
+	StaleOK bool
+	// Timeout bounds one proxied attempt (default 30s).
+	Timeout time.Duration
+	// MaxBodyBytes caps buffered request bodies (default 4 MiB).
+	MaxBodyBytes int64
+	// Registry receives the router's metrics (nil: private).
+	Registry *obs.Registry
+	// Logf, when set, receives backend state transitions.
+	Logf func(format string, args ...interface{})
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 2
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// backend is one read target and its probed health.
+type backend struct {
+	url   string
+	ready atomic.Bool
+	fails atomic.Int64 // consecutive probe failures
+}
+
+// Router spreads reads across in-sync replicas and fails over: it
+// probes every backend's /readyz, routes queries round-robin over the
+// ready set, retries idempotent reads on a different backend when one
+// answers 5xx or drops the connection (within a per-request budget),
+// sends writes to the primary only, and — when no backend is ready —
+// either serves stale with a marker header (StaleOK) or sheds with 503.
+type Router struct {
+	cfg      RouterConfig
+	backends []*backend
+	hc       *http.Client
+	reg      *obs.Registry
+	rr       atomic.Uint64
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	requests  *obs.CounterVec // by backend
+	retries   *obs.Counter
+	failovers *obs.Counter
+	staleSrv  *obs.Counter
+	shed      *obs.Counter
+}
+
+// NewRouter builds (but does not start) a router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("repl: router needs a primary URL")
+	}
+	replicas := cfg.Replicas
+	if len(replicas) == 0 {
+		replicas = []string{cfg.Primary}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &Router{
+		cfg:  cfg,
+		hc:   &http.Client{Timeout: cfg.Timeout},
+		reg:  reg,
+		stop: make(chan struct{}),
+	}
+	for _, u := range replicas {
+		rt.backends = append(rt.backends, &backend{url: u})
+	}
+	rt.requests = reg.CounterVec("gtpq_router_requests_total", "Requests proxied, by backend.", "backend")
+	rt.retries = reg.Counter("gtpq_router_retries_total", "Read attempts retried on another backend.")
+	rt.failovers = reg.Counter("gtpq_router_failovers_total", "Reads answered by a backend other than the first choice.")
+	rt.staleSrv = reg.Counter("gtpq_router_stale_total", "Reads served from a not-in-sync backend (StaleOK).")
+	rt.shed = reg.Counter("gtpq_router_unavailable_total", "Reads shed with 503 because no backend was ready.")
+	reg.CollectFunc("gtpq_router_backend_up", "1 when the backend's readiness probe passes.",
+		obs.TypeGauge, []string{"backend"}, func() []obs.Sample {
+			samples := make([]obs.Sample, 0, len(rt.backends))
+			for _, b := range rt.backends {
+				v := 0.0
+				if b.ready.Load() {
+					v = 1
+				}
+				samples = append(samples, obs.Sample{Labels: []string{b.url}, Value: v})
+			}
+			return samples
+		})
+	return rt, nil
+}
+
+// Registry exposes the router's metric registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+func (rt *Router) logf(format string, args ...interface{}) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// Start probes every backend once synchronously (so the router is
+// useful the moment it binds), then keeps probing in the background.
+func (rt *Router) Start() {
+	rt.probeAll()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		tick := time.NewTicker(rt.cfg.HealthInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-tick.C:
+				rt.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop.
+func (rt *Router) Stop() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// probe checks one backend's readiness; FailAfter consecutive failures
+// flip it down, one success flips it back up.
+func (rt *Router) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HealthInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
+	ok := false
+	if err == nil {
+		resp, derr := rt.hc.Do(req)
+		if derr == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	if ok {
+		if !b.ready.Swap(true) {
+			rt.logf("router: backend %s ready", b.url)
+		}
+		b.fails.Store(0)
+		return
+	}
+	if b.fails.Add(1) >= int64(rt.cfg.FailAfter) {
+		if b.ready.Swap(false) {
+			rt.logf("router: backend %s down", b.url)
+		}
+	}
+}
+
+// pick orders the backends for one read: the ready set rotated
+// round-robin, then (only when StaleOK and nothing is ready) the
+// not-ready set as stale fallbacks. stale reports whether the FIRST
+// candidate is a stale fallback.
+func (rt *Router) pick() (candidates []*backend, stale bool) {
+	n := len(rt.backends)
+	start := int(rt.rr.Add(1)) % n
+	var down []*backend
+	for i := 0; i < n; i++ {
+		b := rt.backends[(start+i)%n]
+		if b.ready.Load() {
+			candidates = append(candidates, b)
+		} else {
+			down = append(down, b)
+		}
+	}
+	if len(candidates) == 0 && rt.cfg.StaleOK {
+		return down, true
+	}
+	return candidates, false
+}
+
+// Handler returns the router's HTTP surface: the proxied API plus its
+// own health and metrics endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		for _, b := range rt.backends {
+			if b.ready.Load() {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprintln(w, "ok")
+				return
+			}
+		}
+		http.Error(w, "no backend ready", http.StatusServiceUnavailable)
+	})
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	mux.HandleFunc("GET /backends", rt.handleBackends)
+	mux.HandleFunc("POST /update", rt.handleWrite)
+	mux.HandleFunc("/", rt.handleRead)
+	return mux
+}
+
+// handleBackends reports probe state for operators.
+func (rt *Router) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	type info struct {
+		URL   string `json:"url"`
+		Ready bool   `json:"ready"`
+		Fails int64  `json:"consecutive_failures"`
+	}
+	out := struct {
+		Primary  string `json:"primary"`
+		Backends []info `json:"backends"`
+	}{Primary: rt.cfg.Primary}
+	for _, b := range rt.backends {
+		out.Backends = append(out.Backends, info{URL: b.url, Ready: b.ready.Load(), Fails: b.fails.Load()})
+	}
+	sort.Slice(out.Backends, func(i, j int) bool { return out.Backends[i].URL < out.Backends[j].URL })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleWrite proxies a mutation to the primary, exactly once: a write
+// that times out may still have applied, so blind retry risks
+// double-application — the client owns that decision.
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rt.requests.With(rt.cfg.Primary).Inc()
+	resp, err := rt.forward(r, rt.cfg.Primary, body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("primary unreachable: %v", err), http.StatusBadGateway)
+		return
+	}
+	rt.copyResponse(w, resp, rt.cfg.Primary, false)
+}
+
+// handleRead proxies an idempotent read, failing over across backends
+// within the retry budget. 4xx answers are the client's problem and
+// returned as-is; transport errors and 5xx answers try the next
+// backend.
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	candidates, stale := rt.pick()
+	if len(candidates) == 0 {
+		rt.shed.Inc()
+		http.Error(w, "no replica in sync (and stale serving disabled)", http.StatusServiceUnavailable)
+		return
+	}
+	attempts := rt.cfg.RetryBudget + 1
+	if attempts > len(candidates) {
+		attempts = len(candidates)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		b := candidates[i]
+		rt.requests.With(b.url).Inc()
+		if i > 0 {
+			rt.retries.Inc()
+		}
+		resp, err := rt.forward(r, b.url, body)
+		if err != nil {
+			lastErr = err
+			b.fails.Add(1)
+			continue
+		}
+		if resp.StatusCode >= 500 && i+1 < attempts {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s answered %d", b.url, resp.StatusCode)
+			continue
+		}
+		if i > 0 {
+			rt.failovers.Inc()
+		}
+		if stale {
+			rt.staleSrv.Inc()
+		}
+		rt.copyResponse(w, resp, b.url, stale)
+		return
+	}
+	http.Error(w, fmt.Sprintf("all backends failed: %v", lastErr), http.StatusBadGateway)
+}
+
+// forward replays the buffered request against one backend.
+func (rt *Router) forward(r *http.Request, backendURL string, body []byte) (*http.Response, error) {
+	u := backendURL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	return rt.hc.Do(req)
+}
+
+// copyResponse streams a backend response to the client, stamping
+// which backend answered and whether it was a stale fallback.
+func (rt *Router) copyResponse(w http.ResponseWriter, resp *http.Response, backendURL string, stale bool) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set(HeaderBackend, backendURL)
+	if stale {
+		w.Header().Set(HeaderStale, "1")
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}

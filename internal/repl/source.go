@@ -1,0 +1,218 @@
+package repl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/snapshot"
+)
+
+// Source serves a catalog's delta logs and bases to tailing replicas.
+// internal/server mounts it at GET /repl/log and GET /repl/base on
+// every process — a replica's local log is byte-identical to its
+// primary's, so any replica can itself be tailed.
+type Source struct {
+	Cat *catalog.Catalog
+	// MaxChunk caps one log response body (default 1 MiB); clients may
+	// ask for less via max=.
+	MaxChunk int
+	// MaxWait caps the long-poll wait (default 25s).
+	MaxWait time.Duration
+	// Poll is the long-poll re-check interval (default 15ms).
+	Poll time.Duration
+}
+
+func (s *Source) maxChunk() int {
+	if s.MaxChunk > 0 {
+		return s.MaxChunk
+	}
+	return 1 << 20
+}
+
+func (s *Source) maxWait() time.Duration {
+	if s.MaxWait > 0 {
+		return s.MaxWait
+	}
+	return 25 * time.Second
+}
+
+func (s *Source) poll() time.Duration {
+	if s.Poll > 0 {
+		return s.Poll
+	}
+	return 15 * time.Millisecond
+}
+
+// sourceStatus maps catalog errors onto HTTP statuses.
+func sourceStatus(err error) int {
+	switch {
+	case errors.Is(err, catalog.ErrUnknownDataset):
+		return http.StatusNotFound
+	case errors.Is(err, catalog.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeState stamps st into the response headers.
+func writeState(w http.ResponseWriter, st catalog.LogState) {
+	h := w.Header()
+	h.Set(HeaderBase, FormatBase(st.Base))
+	h.Set(HeaderSize, strconv.FormatInt(st.Size, 10))
+	h.Set(HeaderBatches, strconv.Itoa(st.Batches))
+	h.Set(HeaderGeneration, strconv.FormatUint(st.Generation, 10))
+	if st.Sharded {
+		h.Set(HeaderSharded, "1")
+	} else {
+		h.Set(HeaderSharded, "0")
+	}
+}
+
+// writeBody sends body with its CRC header (the CRC covers exactly the
+// bytes written, empty bodies included — a truncated-in-flight body
+// can then never masquerade as a shorter valid one).
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set(HeaderCRC, strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(body)
+}
+
+// ServeLog answers GET /repl/log?dataset=X&from=N&max=M&wait_ms=W:
+// raw delta log bytes from offset N. When nothing past N exists yet it
+// long-polls up to W ms (capped at MaxWait) before answering with an
+// empty body — the state headers still report the current base and
+// size, which is how tailers notice a compaction fold (base changed)
+// or that they are already caught up.
+func (s *Source) ServeLog(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		http.Error(w, "missing dataset", http.StatusBadRequest)
+		return
+	}
+	var from int64
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad from offset", http.StatusBadRequest)
+			return
+		}
+		from = n
+	}
+	max := s.maxChunk()
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad max", http.StatusBadRequest)
+			return
+		}
+		if n < max {
+			max = n
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad wait_ms", http.StatusBadRequest)
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+		if wait > s.maxWait() {
+			wait = s.maxWait()
+		}
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		chunk, st, err := s.Cat.ReadLogChunk(name, from, max)
+		if err != nil {
+			http.Error(w, err.Error(), sourceStatus(err))
+			return
+		}
+		if len(chunk) > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			writeState(w, st)
+			writeBody(w, chunk)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(s.poll()):
+		}
+	}
+}
+
+// ServeBase answers GET /repl/base?dataset=X[&file=F]: the frozen base
+// a replica installs before tailing. Flat datasets stream their
+// snapshot encoding; sharded datasets answer the manifest (Sharded
+// header set) and serve each listed file via file= — the manifest's
+// SHA-256 hashes are the per-file integrity check, the chunk CRC just
+// fails transport damage fast.
+func (s *Source) ServeBase(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		http.Error(w, "missing dataset", http.StatusBadRequest)
+		return
+	}
+	file := q.Get("file")
+
+	_, st, err := s.Cat.ReadLogChunk(name, 0, 0)
+	if err != nil {
+		http.Error(w, err.Error(), sourceStatus(err))
+		return
+	}
+	if !st.Sharded {
+		if file != "" {
+			http.Error(w, "flat dataset has no base files; fetch the snapshot", http.StatusBadRequest)
+			return
+		}
+		g, h, st, err := s.Cat.BaseSnapshot(name)
+		if err != nil {
+			http.Error(w, err.Error(), sourceStatus(err))
+			return
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Save(&buf, g, h); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeState(w, st)
+		writeBody(w, buf.Bytes())
+		return
+	}
+
+	// Sharded: the base lives in <dir>/<name>/. A compaction can swap
+	// the directory between the manifest fetch and a file fetch; the
+	// replica's SHA-256 check catches the mix and re-syncs from scratch.
+	dir := filepath.Join(s.Cat.Dir(), name)
+	if file == "" {
+		file = "manifest.json"
+	}
+	if file != filepath.Base(file) || strings.HasPrefix(file, ".") {
+		http.Error(w, fmt.Sprintf("invalid base file name %q", file), http.StatusBadRequest)
+		return
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, file))
+	if err != nil {
+		if os.IsNotExist(err) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeState(w, st)
+	writeBody(w, blob)
+}

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"net/http"
+)
+
+// Liveness vs readiness: GET /healthz answers 200 whenever the process
+// can serve HTTP at all — orchestrators use it to decide whether to
+// restart the process. GET /readyz answers 200 only when the process
+// should receive traffic: no dataset load (build, snapshot revival,
+// delta replay) is in flight, and — on replicas — the replication
+// tailer reports every followed dataset in-sync within its lag bound
+// (Config.ReadyCheck). The query router probes /readyz and routes
+// around processes that fail it, so a replica falling behind degrades
+// to invisible instead of serving stale answers unannounced.
+
+// readyzResponse is the GET /readyz body.
+type readyzResponse struct {
+	Ready bool `json:"ready"`
+	// Loading names datasets whose load is in flight.
+	Loading []string `json:"loading,omitempty"`
+	// NotSynced names replicated datasets beyond the lag bound (or not
+	// yet bootstrapped), as reported by Config.ReadyCheck.
+	NotSynced []string `json:"not_synced,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := readyzResponse{Loading: s.cat.Loading()}
+	resp.Ready = len(resp.Loading) == 0
+	if s.cfg.ReadyCheck != nil {
+		ok, notSynced := s.cfg.ReadyCheck()
+		resp.Ready = resp.Ready && ok
+		resp.NotSynced = notSynced
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

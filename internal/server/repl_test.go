@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"gtpq/internal/delta"
+	"gtpq/internal/repl"
+)
+
+// The replication endpoints serve the dataset's delta log with state
+// headers and a body CRC; offsets past the end answer empty bodies
+// (the long-poll caught-up case with wait_ms=0).
+func TestReplLogEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+
+	// Before any update there is no log: empty body, zero size.
+	resp, err := http.Get(ts.URL + "/repl/log?dataset=small&from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("empty log: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if got := resp.Header.Get(repl.HeaderSize); got != "0" {
+		t.Fatalf("%s = %q, want 0", repl.HeaderSize, got)
+	}
+	baseHdr := resp.Header.Get(repl.HeaderBase)
+	if _, err := repl.ParseBase(baseHdr); err != nil {
+		t.Fatalf("bad %s %q: %v", repl.HeaderBase, baseHdr, err)
+	}
+
+	// One update materializes the log: header + one frame, CRC-stamped.
+	ur, err := http.Post(ts.URL+"/update", "application/json",
+		jsonBody(t, map[string]interface{}{
+			"dataset": "small",
+			"nodes":   []map[string]interface{}{{"label": "a"}},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, ur.Body)
+	ur.Body.Close()
+	if ur.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d", ur.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/repl/log?dataset=small&from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) <= delta.HeaderLen {
+		t.Fatalf("log body %d bytes, want header+frame", len(body))
+	}
+	wantCRC := strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 10)
+	if got := resp.Header.Get(repl.HeaderCRC); got != wantCRC {
+		t.Fatalf("%s = %q, want %q", repl.HeaderCRC, got, wantCRC)
+	}
+	hdr, err := delta.ParseHeader(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get(repl.HeaderBase); got != repl.FormatBase(hdr) {
+		t.Fatalf("base header %q disagrees with log header %q", got, repl.FormatBase(hdr))
+	}
+	if got := resp.Header.Get(repl.HeaderBatches); got != "1" {
+		t.Fatalf("%s = %q, want 1", repl.HeaderBatches, got)
+	}
+
+	// A resumed fetch from the current size answers empty immediately.
+	size := resp.Header.Get(repl.HeaderSize)
+	resp, err = http.Get(ts.URL + "/repl/log?dataset=small&from=" + size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(tail) != 0 {
+		t.Fatalf("caught-up fetch returned %d bytes", len(tail))
+	}
+
+	// Unknown datasets are 404, like the query path.
+	resp, err = http.Get(ts.URL + "/repl/log?dataset=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d", resp.StatusCode)
+	}
+}
+
+// /readyz splits from /healthz: liveness always answers while the
+// process serves; readiness consults loading state and the configured
+// ReadyCheck (a replica's tailer).
+func TestReadyzSplitsFromHealthz(t *testing.T) {
+	ready := true
+	var cfg Config
+	cfg.ReadyCheck = func() (bool, []string) {
+		if ready {
+			return true, nil
+		}
+		return false, []string{"small"}
+	}
+	ts, _ := newTestServer(t, cfg)
+
+	check := func(path string, want int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	check("/healthz", http.StatusOK)
+	check("/readyz", http.StatusOK)
+
+	ready = false
+	check("/healthz", http.StatusOK) // liveness unaffected
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body readyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Ready {
+		t.Fatalf("/readyz: status %d ready=%v, want 503/false", resp.StatusCode, body.Ready)
+	}
+	if len(body.NotSynced) != 1 || body.NotSynced[0] != "small" {
+		t.Fatalf("NotSynced = %v", body.NotSynced)
+	}
+}
+
+// Read-only replicas refuse direct writes with 403 — their datasets
+// advance only through the tailer.
+func TestReadOnlyRefusesUpdates(t *testing.T) {
+	ts, _ := newTestServer(t, Config{ReadOnly: true})
+	resp, err := http.Post(ts.URL+"/update", "application/json",
+		jsonBody(t, map[string]interface{}{
+			"dataset": "small",
+			"nodes":   []map[string]interface{}{{"label": "a"}},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("read-only update: status %d, want 403", resp.StatusCode)
+	}
+	// Queries still work.
+	code, _ := postQuery(t, ts.URL, map[string]interface{}{
+		"dataset": "small", "query": "node x label=a output",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("read-only query: status %d", code)
+	}
+}
+
+func jsonBody(t *testing.T, v interface{}) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}

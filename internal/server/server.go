@@ -46,6 +46,7 @@ import (
 	"gtpq/internal/obs"
 	"gtpq/internal/qcache"
 	"gtpq/internal/qlang"
+	"gtpq/internal/repl"
 )
 
 // Config tunes the server; zero values take sensible defaults.
@@ -103,6 +104,15 @@ type Config struct {
 	AccessLog io.Writer
 	// AccessLogSample logs every Nth request (default 1: all).
 	AccessLogSample int
+	// ReadOnly rejects POST /update with 403. Replicas run read-only:
+	// their datasets mutate only through the replication tailer, and a
+	// client write landing on a replica would fork its history from the
+	// primary's log.
+	ReadOnly bool
+	// ReadyCheck, when set, contributes to GET /readyz: ok=false (with
+	// the not-ready dataset names) reports the process unfit for
+	// routing. Replicas plug their tailer's lag check in here.
+	ReadyCheck func() (ok bool, notReady []string)
 }
 
 func (c Config) withDefaults() Config {
@@ -135,13 +145,14 @@ func (c Config) withDefaults() Config {
 
 // Server handles the HTTP API over one dataset catalog.
 type Server struct {
-	cat   *catalog.Catalog
-	cfg   Config
-	sem   chan struct{} // worker slots
-	cache *qcache.Cache // nil when CacheBytes is 0
-	start time.Time
-	reg   *obs.Registry
-	slow  *obs.SlowLog // nil when SlowLogThreshold is 0
+	cat     *catalog.Catalog
+	cfg     Config
+	sem     chan struct{} // worker slots
+	cache   *qcache.Cache // nil when CacheBytes is 0
+	start   time.Time
+	reg     *obs.Registry
+	slow    *obs.SlowLog // nil when SlowLogThreshold is 0
+	replSrc *repl.Source // serves /repl/log and /repl/base
 
 	queued atomic.Int64 // waiting + running admissions
 	logMu  sync.Mutex   // serializes AccessLog writes
@@ -175,11 +186,12 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		cat:   cat,
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.Workers),
-		start: time.Now(),
-		reg:   reg,
+		cat:     cat,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		start:   time.Now(),
+		reg:     reg,
+		replSrc: &repl.Source{Cat: cat},
 	}
 	if cfg.SlowLogThreshold > 0 {
 		s.slow = obs.NewSlowLog(cfg.SlowLogSize)
@@ -210,10 +222,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	// /healthz is pure liveness (the process answers); /readyz is
+	// readiness (every dataset loaded, replication within its lag
+	// bound) — the router routes on the latter only.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /repl/log", s.replSrc.ServeLog)
+	mux.HandleFunc("GET /repl/base", s.replSrc.ServeBase)
 	return s.instrument(mux)
 }
 

@@ -100,6 +100,12 @@ func (req *updateRequest) toBatch() (delta.Batch, error) {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.cfg.ReadOnly {
+		// A replica's datasets advance only through its tailer; a
+		// client write here would fork its log from the primary's.
+		httpError(w, http.StatusForbidden, "read-only replica: send updates to the primary")
+		return
+	}
 	var req updateRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

@@ -330,6 +330,18 @@ func fileSHA256(path string) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// VerifySHA256 checks blob's SHA-256 digest against the lower-case hex
+// hash a manifest records. Replication base-shipping verifies each
+// fetched shard file with it before writing anything to disk — the
+// same integrity root LoadDir enforces locally.
+func VerifySHA256(blob []byte, want string) error {
+	sum := sha256.Sum256(blob)
+	if got := hex.EncodeToString(sum[:]); !strings.EqualFold(got, want) {
+		return fmt.Errorf("content hash %s does not match manifest %s", got, want)
+	}
+	return nil
+}
+
 // readVerified reads a file once and checks the digest of exactly the
 // bytes it returns against the recorded hash.
 func readVerified(path, want string) ([]byte, error) {
@@ -337,9 +349,8 @@ func readVerified(path, want string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	sum := sha256.Sum256(blob)
-	if got := hex.EncodeToString(sum[:]); !strings.EqualFold(got, want) {
-		return nil, fmt.Errorf("%s: content hash %s does not match manifest %s", filepath.Base(path), got, want)
+	if err := VerifySHA256(blob, want); err != nil {
+		return nil, fmt.Errorf("%s: %v", filepath.Base(path), err)
 	}
 	return blob, nil
 }
