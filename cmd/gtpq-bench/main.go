@@ -30,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gtpq-bench: ")
 	var (
-		exp       = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,ix,conc,shard,cache,delta,plan,obs,stream,repl,all (or none)")
+		exp       = flag.String("exp", "all", "comma-separated experiments: t1,t2,f8a,f8b,f9a,f9b,f9c,f9d,f10,e1,e2dis,e2neg,e2disneg,a2,a3,ix,conc,shard,cache,delta,plan,obs,stream,repl,sub,all (or none)")
 		persons   = flag.Int("persons", 600, "XMark persons per scale unit")
 		queries   = flag.Int("queries", 5, "query instances averaged per data point")
 		perSize   = flag.Int("persize", 5, "arXiv queries kept per size and result group")
@@ -73,6 +73,7 @@ func main() {
 		"obs":      r.Observability,
 		"stream":   r.Stream,
 		"repl":     r.Repl,
+		"sub":      r.Sub,
 		"all":      r.All,
 	}
 	for _, name := range strings.Split(*exp, ",") {

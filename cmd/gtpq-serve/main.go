@@ -28,6 +28,7 @@
 //	POST /query     {"dataset":"d","queries":["...","..."]}
 //	POST /query     {"dataset":"d","query":"...","limit":100,"cursor":"..."}  paged
 //	POST /query     with Accept: application/x-ndjson — streamed rows
+//	POST /subscribe {"dataset":"d","query":"..."} — SSE stream of result changes
 //	POST /update    {"dataset":"d","nodes":[{"label":"a"}],"edges":[{"from":0,"to":9}]}
 //	GET  /datasets
 //	GET  /stats
@@ -83,6 +84,7 @@ func main() {
 		compactN  = flag.Int("compact-after", 0, "fold a dataset's delta log into a fresh snapshot once this many mutations are pending (0: never auto-compact)")
 		plan      = flag.String("plan", "on", "cost-based pruning order + multiway kernels: on or off (off restores the paper's fixed post-order)")
 		costQuota = flag.Int64("cost-quota", 0, "reject queries whose estimated candidate cost exceeds this before admission (0: no limit)")
+		maxSubs   = flag.Int("max-subs", 1024, "max concurrently attached standing-query streams (POST /subscribe)")
 		slowMS    = flag.Int64("slowlog-ms", 250, "record queries at least this slow (with per-stage trace timings) in GET /debug/slowlog (0: disable)")
 		slowSize  = flag.Int("slowlog-size", 128, "slow-query ring capacity")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty: disabled)")
@@ -165,6 +167,7 @@ func main() {
 		CacheBytes:       *cacheB,
 		CompactAfter:     *compactN,
 		CostQuota:        *costQuota,
+		MaxSubs:          *maxSubs,
 		SlowLogThreshold: time.Duration(*slowMS) * time.Millisecond,
 		SlowLogSize:      *slowSize,
 		AccessLogSample:  *logSample,
@@ -253,6 +256,10 @@ func main() {
 		log.Print("shutting down: draining in-flight work")
 		ctx, cancel := context.WithTimeout(context.Background(), *maxTime)
 		defer cancel()
+		// Standing-query streams first: open SSE connections count as
+		// active for Shutdown and would stall the drain until clients
+		// hung up on their own.
+		srv.CloseSubscriptions()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}

@@ -91,7 +91,7 @@ func (g *Graph) AddEdge(u, v NodeID) { g.g.AddEdge(u, v) }
 // algorithms treat it as a reference rather than document structure.
 func (g *Graph) AddRefEdge(u, v NodeID) { g.g.AddCrossEdge(u, v) }
 
-// N returns the node count; M the edge count.
+// N returns the node count.
 func (g *Graph) N() int { return g.g.N() }
 
 // M returns the edge count.
@@ -121,7 +121,9 @@ func ParseQuery(src string) (*Query, error) {
 	return &Query{q: q}, nil
 }
 
-// FormatQuery renders the query back into the DSL.
+// Format renders the query back into the DSL; the text is canonical
+// (stable across semantically equal spellings) and round-trips through
+// ParseQuery.
 func (q *Query) Format() string { return qlang.Format(q.q) }
 
 // String renders the query tree for diagnostics.
@@ -270,8 +272,11 @@ type Result struct {
 
 // EvalStats mirrors the paper's cost metrics.
 type EvalStats struct {
-	Input        int64
+	// Input counts the vertices scanned into the evaluation.
+	Input int64
+	// IndexLookups counts reachability-index probes.
 	IndexLookups int64
+	// Intermediate counts intermediate result tuples materialized.
 	Intermediate int64
 }
 

@@ -23,7 +23,7 @@ func nsDur(ns int64) time.Duration { return time.Duration(ns) }
 // JSON but not gated.
 
 // gatedExperiments are the record kinds the regression gate compares.
-var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true, "stream": true, "repl": true}
+var gatedExperiments = map[string]bool{"eval": true, "shard": true, "plan": true, "obs": true, "stream": true, "repl": true, "sub": true}
 
 // A record must additionally clear an absolute noise floor to count
 // as a regression: sub-millisecond records swing several-fold on a
@@ -60,6 +60,7 @@ type checkKey struct {
 	ObsMode    string
 	StreamMode string
 	ReplMode   string
+	SubMode    string
 }
 
 func keyOf(r Record) checkKey {
@@ -75,6 +76,7 @@ func keyOf(r Record) checkKey {
 		ObsMode:    r.ObsMode,
 		StreamMode: r.StreamMode,
 		ReplMode:   r.ReplMode,
+		SubMode:    r.SubMode,
 	}
 }
 
@@ -106,6 +108,9 @@ func (k checkKey) String() string {
 	}
 	if k.ReplMode != "" {
 		s += "/fleet=" + k.ReplMode
+	}
+	if k.SubMode != "" {
+		s += "/sub=" + k.SubMode
 	}
 	return s
 }

@@ -230,4 +230,6 @@ func (r *Runner) All() {
 	r.Stream()
 	r.printf("\n")
 	r.Repl()
+	r.printf("\n")
+	r.Sub()
 }

@@ -1,0 +1,366 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/core"
+	"gtpq/internal/delta"
+	"gtpq/internal/graph"
+	"gtpq/internal/graphio"
+	"gtpq/internal/sub"
+)
+
+// The sub experiment prices standing queries (internal/sub): the
+// latency from an applied delta batch to the subscriber's notification
+// event, and how often the per-batch skip analysis proves a
+// subscription untouched without re-evaluating it. The fixture is a
+// set of label-disjoint clusters with one standing query per cluster,
+// driven at an update-rate ladder under two workload shapes:
+// "disjoint" updates touch a single cluster (every other subscription
+// must skip), "mixed" updates touch every cluster (nothing can skip).
+
+const (
+	subClusters  = 4                // clusters = standing queries
+	subRoots     = 8                // root vertices per cluster
+	subBurst     = time.Second      // per-rate write window (sample count = rate x window; short windows make the p99 a max)
+	subWindows   = 3                // windows per rung; the median window's quantiles are recorded
+	subDrainWait = 10 * time.Second // notification drain deadline
+)
+
+// subRates is the update ladder, in mutation batches per second. It
+// stops where the matcher still keeps pace on the mixed workload
+// (every batch re-evaluates all subClusters queries): past saturation
+// the p99 measures queue depth, not notification latency, and gating
+// it would flake.
+var subRates = []int{50, 200}
+
+// subRatePoint is one rung of the notification-latency ladder.
+type subRatePoint struct {
+	Rate     int // batches/sec offered
+	Applied  int // batches actually written in the window
+	Notifs   int // notification events received
+	SkipRate float64
+	P50      time.Duration
+	P99      time.Duration
+}
+
+// subModeResult is one workload shape's full ladder.
+type subModeResult struct {
+	Mode       string
+	Points     []subRatePoint
+	SkipRate   float64 // aggregate over the whole ladder
+	Skips      int64
+	Restricted int64
+	Full       int64
+}
+
+// subGraph builds the label-disjoint fixture: per cluster i, subRoots
+// vertices labeled "r<i>" each with one "c<i>" child. Returns the
+// graph and the first root vertex of each cluster (update batches hang
+// new children off it).
+func subGraph() (*graph.Graph, []graph.NodeID) {
+	n := subClusters * subRoots * 2
+	g := graph.New(n, n/2)
+	firstRoot := make([]graph.NodeID, subClusters)
+	id := graph.NodeID(0)
+	for i := 0; i < subClusters; i++ {
+		firstRoot[i] = id
+		for j := 0; j < subRoots; j++ {
+			g.AddNode(fmt.Sprintf("r%d", i), nil)
+			g.AddNode(fmt.Sprintf("c%d", i), nil)
+			g.AddEdge(id, id+1)
+			id += 2
+		}
+	}
+	g.Freeze()
+	return g, firstRoot
+}
+
+// subQuery is cluster i's standing query: r<i>-rooted with an AD
+// c<i>-descendant, both outputs. Conjunctive, so the matcher may use
+// delta-restricted re-evaluation.
+func subQuery(i int) *core.Query {
+	q := core.NewQuery()
+	root := q.AddRoot("x", core.Label(fmt.Sprintf("r%d", i)))
+	y := q.AddNode("y", core.Backbone, root, core.AD, core.Label(fmt.Sprintf("c%d", i)))
+	q.SetOutput(root)
+	q.SetOutput(y)
+	return q
+}
+
+// subLatencies correlates apply times with notification receipts by
+// catalog generation (the SSE event id).
+type subLatencies struct {
+	mu      sync.Mutex
+	applied map[uint64]time.Time
+	lat     []time.Duration
+}
+
+func (c *subLatencies) markApply(gen uint64, at time.Time) {
+	c.mu.Lock()
+	c.applied[gen] = at
+	c.mu.Unlock()
+}
+
+func (c *subLatencies) markRecv(gen uint64, at time.Time) {
+	c.mu.Lock()
+	if t0, ok := c.applied[gen]; ok {
+		c.lat = append(c.lat, at.Sub(t0))
+	}
+	c.mu.Unlock()
+}
+
+func (c *subLatencies) reset() {
+	c.mu.Lock()
+	c.applied = map[uint64]time.Time{}
+	c.lat = c.lat[:0]
+	c.mu.Unlock()
+}
+
+func (c *subLatencies) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.lat)
+}
+
+// quantiles returns the p50/p99 of the collected latencies.
+func (c *subLatencies) quantiles() (p50, p99 time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.lat) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), c.lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2], s[len(s)*99/100]
+}
+
+// median returns the middle value of s (sorted copy).
+func median(s []time.Duration) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	c := append([]time.Duration(nil), s...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c[len(c)/2]
+}
+
+// subMeasure runs the full ladder for both workload shapes, each
+// against a fresh catalog so the graphs and counters stay isolated.
+func (r *Runner) subMeasure() ([]subModeResult, error) {
+	var out []subModeResult
+	for _, mode := range []string{"disjoint", "mixed"} {
+		res, err := r.subMeasureMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func (r *Runner) subMeasureMode(mode string) (subModeResult, error) {
+	res := subModeResult{Mode: mode}
+	dir, err := os.MkdirTemp("", "gtpq-bench-sub-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	g, firstRoot := subGraph()
+	var buf bytes.Buffer
+	if err := graphio.Save(&buf, g); err != nil {
+		return res, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d.json"), buf.Bytes(), 0o644); err != nil {
+		return res, err
+	}
+	cat, err := catalog.Open(dir, catalog.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer cat.Close()
+	reg := sub.New(cat, sub.Config{Buffer: 8192, Retain: time.Minute})
+	defer reg.Close()
+
+	col := &subLatencies{applied: map[uint64]time.Time{}}
+	var clients []*sub.Client
+	var wg sync.WaitGroup
+	// Close the streams before waiting on their drainers: the range over
+	// Events only ends once the client detaches.
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		wg.Wait()
+	}()
+	for i := 0; i < subClusters; i++ {
+		c, err := reg.Subscribe("d", subQuery(i), 0)
+		if err != nil {
+			return res, err
+		}
+		clients = append(clients, c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range c.Events() {
+				if ev.Type == "delta" {
+					col.markRecv(ev.ID, time.Now())
+				}
+			}
+		}()
+	}
+	reg.Sync("d")
+
+	ds, err := cat.Acquire("d")
+	if err != nil {
+		return res, err
+	}
+	nodes, gen := ds.Nodes(), ds.Generation
+	ds.Release()
+
+	// mkBatch grows the fixture: a new child under the measured
+	// cluster's first root (disjoint), or one under every cluster's
+	// (mixed). Every batch extends each touched query's result, so each
+	// notifies.
+	mkBatch := func() (delta.Batch, int) {
+		var b delta.Batch
+		clusters := 1
+		if mode == "mixed" {
+			clusters = subClusters
+		}
+		for i := 0; i < clusters; i++ {
+			b.Nodes = append(b.Nodes, delta.NodeAdd{Label: fmt.Sprintf("c%d", i)})
+			b.Edges = append(b.Edges, delta.EdgeAdd{From: firstRoot[i], To: graph.NodeID(nodes + i)})
+		}
+		return b, clusters
+	}
+
+	for _, rate := range subRates {
+		before := reg.Stats()
+		point := subRatePoint{Rate: rate}
+		var p50s, p99s []time.Duration
+
+		// Each rung runs subWindows independent write windows and gates
+		// the median window p99: a scheduler stall or GC pause landing in
+		// one window cannot move the recorded latency.
+		for w := 0; w < subWindows; w++ {
+			// The gated p99 is scheduler-sensitive; don't let garbage from
+			// earlier experiments in the suite pause collection mid-window.
+			runtime.GC()
+			col.reset()
+			expected := 0
+			interval := time.Second / time.Duration(rate)
+			start := time.Now()
+			next := start
+			for time.Since(start) < subBurst {
+				b, touched := mkBatch()
+				col.markApply(gen+1, time.Now())
+				ds, err := cat.ApplyDelta("d", b)
+				if err != nil {
+					return res, err
+				}
+				nodes, gen = ds.Nodes(), ds.Generation
+				ds.Release()
+				point.Applied++
+				expected += touched
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			reg.Sync("d")
+			deadline := time.Now().Add(subDrainWait)
+			for col.count() < expected {
+				if time.Now().After(deadline) {
+					return res, fmt.Errorf("bench: sub %s@%d: %d of %d notifications after %v",
+						mode, rate, col.count(), expected, subDrainWait)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			point.Notifs += col.count()
+			p50, p99 := col.quantiles()
+			p50s = append(p50s, p50)
+			p99s = append(p99s, p99)
+		}
+
+		after := reg.Stats()
+		skips := after.Skips - before.Skips
+		evals := (after.RestrictedEvals - before.RestrictedEvals) + (after.FullEvals - before.FullEvals)
+		if skips+evals > 0 {
+			point.SkipRate = float64(skips) / float64(skips+evals)
+		}
+		point.P50, point.P99 = median(p50s), median(p99s)
+		res.Points = append(res.Points, point)
+	}
+
+	st := reg.Stats()
+	res.Skips, res.Restricted, res.Full = st.Skips, st.RestrictedEvals, st.FullEvals
+	if total := st.Skips + st.RestrictedEvals + st.FullEvals; total > 0 {
+		res.SkipRate = float64(st.Skips) / float64(total)
+	}
+	return res, nil
+}
+
+// Sub prints the standing-query experiment.
+func (r *Runner) Sub() {
+	results, err := r.subMeasure()
+	if err != nil {
+		r.printf("sub experiment failed: %v\n", err)
+		return
+	}
+	r.printf("== Standing queries: notification latency and skip rate vs update rate ==\n")
+	r.printf("%d clusters, one standing query each; disjoint updates touch one cluster, mixed touch all\n", subClusters)
+	r.printf("%-10s %-12s %8s %8s %10s %10s %10s\n",
+		"workload", "rate (b/s)", "applied", "notifs", "skip-rate", "p50", "p99")
+	for _, res := range results {
+		for _, p := range res.Points {
+			r.printf("%-10s %-12d %8d %8d %9.0f%% %10s %10s\n",
+				res.Mode, p.Rate, p.Applied, p.Notifs, p.SkipRate*100, fmtDur(p.P50), fmtDur(p.P99))
+		}
+		r.printf("%-10s overall: %.0f%% skipped (%d skip / %d restricted / %d full)\n",
+			res.Mode, res.SkipRate*100, res.Skips, res.Restricted, res.Full)
+	}
+}
+
+// subRecords emits the machine-readable sub experiment: one record per
+// (workload, rate) rung with the notification p50/p99 and the rung's
+// skip rate. Only the disjoint rungs mirror the p99 into the gated
+// NsPerOp: disjoint latency is a single re-evaluation and stable,
+// while mixed deliberately re-evaluates every subscription per batch
+// and its p99 tracks queueing under load, not matcher speed.
+func (r *Runner) subRecords() []Record {
+	results, err := r.subMeasure()
+	if err != nil {
+		panic(fmt.Sprintf("bench: sub records: %v", err))
+	}
+	var recs []Record
+	for _, res := range results {
+		for _, p := range res.Points {
+			rec := Record{
+				Experiment: "sub",
+				Query:      fmt.Sprintf("rate=%d", p.Rate),
+				SubMode:    res.Mode,
+				UpdateRate: p.Rate,
+				Requests:   int64(p.Applied),
+				Results:    int64(p.Notifs),
+				SkipRate:   p.SkipRate,
+				P50Ns:      p.P50.Nanoseconds(),
+				P99Ns:      p.P99.Nanoseconds(),
+			}
+			if res.Mode == "disjoint" {
+				rec.NsPerOp = p.P99.Nanoseconds()
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}

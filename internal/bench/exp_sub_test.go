@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSubExperimentBounds is the standing-query acceptance criterion as
+// a test: on the label-disjoint workload, where every update batch
+// touches exactly one of the clusters, the per-batch analysis must
+// prove more than half of the (batch, subscription) pairs skippable
+// without re-evaluation; the mixed workload (every batch touches every
+// cluster) must skip nothing, and every touched subscription must have
+// produced a notification.
+func TestSubExperimentBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement; skipped in -short")
+	}
+	r := NewRunner(Config{}, io.Discard)
+	results, err := r.subMeasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]subModeResult{}
+	for _, res := range results {
+		byMode[res.Mode] = res
+		t.Logf("%s: skip-rate %.2f (%d skip / %d restricted / %d full)",
+			res.Mode, res.SkipRate, res.Skips, res.Restricted, res.Full)
+		for _, p := range res.Points {
+			t.Logf("  rate=%d applied=%d notifs=%d skip=%.2f p50=%v p99=%v",
+				p.Rate, p.Applied, p.Notifs, p.SkipRate, p.P50, p.P99)
+			if p.Applied == 0 || p.Notifs == 0 {
+				t.Errorf("%s@%d: applied=%d notifs=%d, want both > 0", res.Mode, p.Rate, p.Applied, p.Notifs)
+			}
+			if p.P99 <= 0 || p.P50 > p.P99 {
+				t.Errorf("%s@%d: implausible latency quantiles p50=%v p99=%v", res.Mode, p.Rate, p.P50, p.P99)
+			}
+		}
+	}
+	dis, ok := byMode["disjoint"]
+	if !ok {
+		t.Fatal("no disjoint result")
+	}
+	// With one touched cluster out of subClusters per batch, the exact
+	// skip rate is (subClusters-1)/subClusters; >0.5 is the criterion.
+	if dis.SkipRate <= 0.5 {
+		t.Errorf("disjoint skip-rate = %.2f, want > 0.5", dis.SkipRate)
+	}
+	if dis.Restricted == 0 {
+		t.Errorf("disjoint workload never used restricted re-evaluation (restricted=0, full=%d)", dis.Full)
+	}
+	mixed := byMode["mixed"]
+	if mixed.SkipRate != 0 {
+		t.Errorf("mixed skip-rate = %.2f, want 0 (every batch touches every cluster)", mixed.SkipRate)
+	}
+}

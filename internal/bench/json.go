@@ -88,6 +88,18 @@ type Record struct {
 	MaxLagBatches int64  `json:"max_lag_batches,omitempty"`
 	ConvergeNs    int64  `json:"converge_ns,omitempty"`
 	P50Ns         int64  `json:"p50_ns,omitempty"`
+
+	// Sub experiment fields: the standing-query workload shape
+	// ("disjoint" updates touch one cluster, "mixed" touch all) and the
+	// fraction of (batch, subscription) maintenance decisions resolved
+	// as provable skips. UpdateRate and P50Ns ride the repl fields; the
+	// notification p99 lives in P99Ns and is mirrored into the gated
+	// NsPerOp only for the disjoint rungs — the mixed shape saturates
+	// the matcher by design, so its p99 measures eval queue depth and
+	// would flake under the regression gate.
+	SubMode  string  `json:"sub_mode,omitempty"`
+	SkipRate float64 `json:"skip_rate,omitempty"`
+	P99Ns    int64   `json:"p99_ns,omitempty"`
 }
 
 // jsonReport is the top-level shape of -json output.
@@ -189,6 +201,8 @@ func (r *Runner) JSONRecords() []Record {
 	recs = append(recs, r.streamRecords()...)
 	// Replica-fleet lag ladder + router failover latency.
 	recs = append(recs, r.replRecords()...)
+	// Standing-query notification latency + skip-rate ladder.
+	recs = append(recs, r.subRecords()...)
 	r.jsonRecords = recs
 	return recs
 }

@@ -194,6 +194,9 @@ type Catalog struct {
 	dlogs   map[string]*dlog
 	closed  bool
 
+	// applyHook, when set, observes every mutation swap (see hook.go).
+	applyHook func(ApplyEvent)
+
 	// loads counts disk loads started (builds, revivals, shard dirs);
 	// reloads counts entries marked stale (source change or explicit
 	// Reload). Both feed the metrics registry (see metrics.go).

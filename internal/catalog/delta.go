@@ -323,7 +323,9 @@ func (c *Catalog) applyDeltaOnce(name string, b delta.Batch) (*Dataset, error) {
 	}
 	next.ds.LoadTime = time.Since(start)
 	close(next.ready)
-	return c.swapEntry(name, e, next), nil
+	h := c.swapEntry(name, e, next)
+	c.notifyApply(name, next, b, false)
+	return h, nil
 }
 
 // Compact folds the named dataset's pending deltas into a fresh base:
@@ -452,7 +454,12 @@ func (c *Catalog) Compact(name string) (*Dataset, error) {
 	dl.compactions.Add(1)
 	next.ds.LoadTime = time.Since(start)
 	close(next.ready)
-	return c.swapEntry(name, e, next), nil
+	h := c.swapEntry(name, e, next)
+	// Live subscriptions hand over atomically here: the fold is a pure
+	// generation advance (same logical graph), delivered in order with
+	// the surrounding batches because dl.mu is still held.
+	c.notifyApply(name, next, delta.Batch{}, true)
+	return h, nil
 }
 
 // Compactions reports how many times the named dataset's delta log was

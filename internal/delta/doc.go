@@ -1,0 +1,25 @@
+// Package delta makes frozen datasets live-mutable: an append-only log
+// of graph mutations (new vertices, new edges) layered over a frozen
+// base graph, a delta-aware reachability overlay that answers queries
+// over base ∪ delta without touching the expensive base index, and the
+// persistence format that replays the pending mutations on reload
+// (deltas.log next to the .snap).
+//
+// The design splits a live dataset into two tiers:
+//
+//   - the base: a frozen graph plus its built reachability index
+//     (3-hop, transitive closure, or a sharded composite) — expensive
+//     to construct, immutable, snapshot-revivable;
+//   - the delta: the batches appended since the base was built — cheap
+//     to apply, replayed from the log on load, folded into a fresh
+//     base by compaction.
+//
+// Extend materializes the current logical graph (base ids preserved,
+// delta nodes appended) in O(N+M); NewOverlay wraps the base index so
+// reachability over the extended graph is exact — including negated
+// predicates and cycles closed by delta edges — via a bounded frontier
+// search over the delta edges with memoized delta-reachable edge sets.
+// The GTEA engine evaluates over the pair (extended graph, overlay)
+// unchanged: the reach.ContourIndex interface isolates it from the
+// mutability entirely.
+package delta

@@ -1,0 +1,111 @@
+// Package docscheck keeps docs/OPERATIONS.md honest: it extracts
+// every flag the operational binaries define and every gtpq_* metric
+// family the code registers, and fails if any is missing from the
+// documentation. It contains only tests — running them (the CI lint
+// job does) is the whole point.
+package docscheck
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// repoRoot is relative to this package directory, where `go test`
+// runs.
+const repoRoot = "../.."
+
+// opsBinaries are the binaries whose every flag must be documented.
+// gtpq and gtpq-bench are development tools with self-describing
+// -help output; the operational four are what OPERATIONS.md covers.
+var opsBinaries = []string{"gtpq-serve", "gtpq-route", "gtpq-compact", "gtpq-shard"}
+
+var (
+	flagRe   = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\(\s*"([^"]+)"`)
+	metricRe = regexp.MustCompile(`"(gtpq_[a-z_]+)"`)
+)
+
+func readOperations(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(repoRoot, "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("read docs/OPERATIONS.md: %v", err)
+	}
+	return string(b)
+}
+
+// TestOperationsCoversFlags extracts every flag definition from the
+// operational binaries' main.go and requires the flag to appear in
+// docs/OPERATIONS.md as `-name`.
+func TestOperationsCoversFlags(t *testing.T) {
+	doc := readOperations(t)
+	for _, bin := range opsBinaries {
+		src, err := os.ReadFile(filepath.Join(repoRoot, "cmd", bin, "main.go"))
+		if err != nil {
+			t.Fatalf("read cmd/%s/main.go: %v", bin, err)
+		}
+		matches := flagRe.FindAllStringSubmatch(string(src), -1)
+		if len(matches) == 0 {
+			t.Fatalf("cmd/%s/main.go: no flag definitions found — extractor regex out of date?", bin)
+		}
+		for _, m := range matches {
+			if want := "`-" + m[1] + "`"; !strings.Contains(doc, want) {
+				t.Errorf("docs/OPERATIONS.md: flag %s of %s is undocumented", want, bin)
+			}
+		}
+	}
+}
+
+// TestOperationsCoversMetrics extracts every gtpq_* metric-name
+// literal from non-test sources under internal/ (excluding
+// internal/bench, whose literals parse exposition output rather than
+// register families) and requires it to appear in
+// docs/OPERATIONS.md.
+func TestOperationsCoversMetrics(t *testing.T) {
+	doc := readOperations(t)
+	names := map[string][]string{}
+	root := filepath.Join(repoRoot, "internal")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "bench" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(repoRoot, path)
+		for _, m := range metricRe.FindAllStringSubmatch(string(src), -1) {
+			names[m[1]] = append(names[m[1]], rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 10 {
+		t.Fatalf("found only %d gtpq_* metric literals under internal/ — extractor regex out of date?", len(names))
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if !strings.Contains(doc, n) {
+			t.Errorf("docs/OPERATIONS.md: metric %s (registered in %s) is undocumented", n, names[n][0])
+		}
+	}
+}

@@ -186,6 +186,15 @@ type evalContext struct {
 	childSet  core.Bitset
 	bfsStack  []graph.NodeID
 
+	// Seeded evaluation (see seed.go): with seeded set, the root's
+	// initial candidates are intersected with seedSet before the arena
+	// copy, restricting the whole evaluation to embeddings whose root
+	// image lies in the seed. seedScratch holds the filtered list so the
+	// borrowed label index is never mutated.
+	seeded      bool
+	seedSet     core.Bitset
+	seedScratch []graph.NodeID
+
 	stat Stats
 	rst  reach.Stats // per-call index-lookup sink
 
@@ -248,6 +257,7 @@ func (e *Engine) newContext() *evalContext {
 	ec.rst = reach.Stats{}
 	ec.ctx, ec.err, ec.ops = nil, nil, 0
 	ec.plan = nil
+	ec.seeded = false
 	return ec
 }
 
@@ -291,9 +301,20 @@ func (e *Engine) EvalCtx(ctx context.Context, q *core.Query) (*core.Answer, erro
 // error returned; the counters still report the work performed up to
 // the abort. Safe for concurrent use.
 func (e *Engine) EvalStatsCtx(ctx context.Context, q *core.Query) (*core.Answer, Stats, error) {
+	return e.evalStats(ctx, q, false, nil)
+}
+
+// evalStats is the shared body of EvalStatsCtx and EvalSeededStatsCtx
+// (seed.go): with seeded set, the root's candidates are restricted to
+// the seed before pruning starts.
+func (e *Engine) evalStats(ctx context.Context, q *core.Query, seeded bool, seed []graph.NodeID) (*core.Answer, Stats, error) {
 	start := time.Now()
 	ec := e.newContext()
 	defer e.release(ec)
+	if seeded {
+		ec.seeded = true
+		ec.seedSet.Fill(e.G.N(), seed)
+	}
 	// Done() is nil exactly for never-cancellable contexts (Background,
 	// TODO, value-only chains): skip all polling overhead for them.
 	if ctx != nil && ctx.Done() != nil {
@@ -412,9 +433,22 @@ func (ec *evalContext) initCandidates(q *core.Query) {
 	total := 0
 	for u := range q.Nodes {
 		cs := core.Candidates(ec.g, q.Nodes[u].Attr)
+		ec.stat.PruneInput += int64(len(cs))
+		if ec.seeded && u == q.Root {
+			// Restrict the root to the seed before the arena copy; the
+			// filtered list lives in its own scratch because cs may be
+			// the graph's shared label index.
+			kept := ec.seedScratch[:0]
+			for _, v := range cs {
+				if ec.seedSet.Has(v) {
+					kept = append(kept, v)
+				}
+			}
+			ec.seedScratch = kept
+			cs = kept
+		}
 		ec.mat[u] = cs
 		total += len(cs)
-		ec.stat.PruneInput += int64(len(cs))
 		if ec.plan != nil {
 			ec.plan.Nodes[u].InitCands = len(cs)
 		}

@@ -1,0 +1,23 @@
+// Package qcache is the serving layer's per-dataset result cache: a
+// sharded LRU over evaluated answers, bounded by the total bytes the
+// cached answers occupy (not by entry count — one huge enumeration must
+// not be "worth" the same as a thousand point lookups).
+//
+// Keys are (dataset, catalog generation, canonical query text, index
+// kind). qlang.Format provides the canonical text — it is stable and
+// round-trips through Parse, so syntactically different spellings of
+// the same query share one entry. The catalog's hot-reload generation
+// makes invalidation free: a reloaded or re-sharded dataset changes
+// generation, new traffic keys past the old entries, and the stale ones
+// age out of the LRU under byte pressure. For sharded datasets the
+// cached value is the *merged* answer (the ShardedEngine's
+// scatter-gather output), so a hit skips the whole fan-out.
+//
+// Misses deduplicate in flight: Do runs one computation per key
+// (singleflight) and hands the result to every concurrent caller, so a
+// thundering herd of identical queries costs one evaluation. Failed
+// computations — including context-cancelled evaluations — are never
+// cached and never shared: each waiter retries, so a caller with a
+// short deadline cannot poison the cache or its neighbors with a
+// partial answer.
+package qcache

@@ -1,36 +1,3 @@
-// Package repl replicates datasets between gtpq-serve processes by
-// tailing delta logs. The design splits frozen state from live
-// mutation the way the catalog already does on disk: the base (a
-// `.snap` snapshot or a SHA-256-manifested shard directory) is the
-// immutable object a replica ships once, and the base-fingerprinted
-// delta log is the journal it follows afterwards. Because the log
-// encoding is deterministic, a replica that re-applies the decoded
-// batches through its own catalog grows a byte-identical local log —
-// so the local log size IS the durable replication offset, restart
-// resume is the ordinary cold-replay path, and a replica can itself be
-// tailed (chained replication) with no extra machinery.
-//
-// The wire protocol is two GET endpoints on the primary (served by
-// internal/server):
-//
-//	GET /repl/log?dataset=X&from=N&max=M&wait_ms=W
-//	    raw log bytes from offset N (long-polling up to W ms when
-//	    nothing is new), with the log state in response headers and a
-//	    CRC32 of the body so transport damage is detected before any
-//	    frame is parsed.
-//	GET /repl/base?dataset=X[&file=F]
-//	    the frozen base: a snapshot stream for flat datasets, the
-//	    manifest (then per-file fetches, each SHA-256-verified) for
-//	    sharded ones.
-//
-// Faults are detected in layers: transport damage (drop, truncation,
-// duplication) by the chunk CRC; in-band frame corruption by the
-// delta log's own frame CRCs (delta.ErrFrameCorrupt); a wrong or
-// changed base — including a primary-side compaction fold — by the
-// base fingerprint, which triggers a re-sync from the new base. Every
-// failure class either heals by refetching from the durable offset or
-// surfaces as a typed error plus a gtpq_repl_* counter; none can
-// silently double-apply or skip a batch.
 package repl
 
 import (

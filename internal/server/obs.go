@@ -112,6 +112,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers (SSE, NDJSON) can flush through the middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // accessLine is one structured access-log record (JSON, one per line).
 type accessLine struct {
 	Time      string  `json:"time"`

@@ -1,11 +1,12 @@
 // Package server exposes the GTPQ engine over HTTP/JSON for
 // long-running serving:
 //
-//	POST /query     evaluate one query or a batch on a named dataset
-//	POST /update    append vertices/edges to a dataset (served at once)
-//	GET  /datasets  list datasets and their load state
-//	GET  /stats     server counters and configuration
-//	GET  /healthz   liveness probe
+//	POST /query      evaluate one query or a batch on a named dataset
+//	POST /subscribe  standing query: SSE stream of result changes
+//	POST /update     append vertices/edges to a dataset (served at once)
+//	GET  /datasets   list datasets and their load state
+//	GET  /stats      server counters and configuration
+//	GET  /healthz    liveness probe
 //
 // Evaluations run through an admission-controlled worker pool: at most
 // Workers queries evaluate concurrently, at most QueueDepth more wait
@@ -47,6 +48,7 @@ import (
 	"gtpq/internal/qcache"
 	"gtpq/internal/qlang"
 	"gtpq/internal/repl"
+	"gtpq/internal/sub"
 )
 
 // Config tunes the server; zero values take sensible defaults.
@@ -113,6 +115,10 @@ type Config struct {
 	// the not-ready dataset names) reports the process unfit for
 	// routing. Replicas plug their tailer's lag check in here.
 	ReadyCheck func() (ok bool, notReady []string)
+	// MaxSubs caps concurrently attached standing-query streams (POST
+	// /subscribe); beyond it new subscriptions are rejected with 429.
+	// Default 1024.
+	MaxSubs int
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +159,7 @@ type Server struct {
 	reg     *obs.Registry
 	slow    *obs.SlowLog // nil when SlowLogThreshold is 0
 	replSrc *repl.Source // serves /repl/log and /repl/base
+	subs    *sub.Registry
 
 	queued atomic.Int64 // waiting + running admissions
 	logMu  sync.Mutex   // serializes AccessLog writes
@@ -201,9 +208,24 @@ func New(cat *catalog.Catalog, cfg Config) *Server {
 		s.cache = qcache.New(cfg.CacheBytes)
 		s.cache.Register(reg)
 	}
+	s.subs = sub.New(cat, sub.Config{
+		MaxSubs:       cfg.MaxSubs,
+		Registry:      reg,
+		SlowLog:       s.slow,
+		SlowThreshold: cfg.SlowLogThreshold,
+	})
 	cat.Register(reg)
 	return s
 }
+
+// Subs exposes the standing-query registry (tests and embedders).
+func (s *Server) Subs() *sub.Registry { return s.subs }
+
+// CloseSubscriptions shuts the standing-query registry down, closing
+// every attached SSE stream. Graceful shutdown calls it BEFORE the
+// HTTP server's Shutdown — open event streams otherwise count as
+// active connections and stall the drain until their clients leave.
+func (s *Server) CloseSubscriptions() { s.subs.Close() }
 
 // Registry exposes the server's metric registry (tests and embedders
 // scrape it directly).
@@ -217,6 +239,7 @@ func (s *Server) Cache() *qcache.Cache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /subscribe", s.handleSubscribe)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -821,6 +844,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		cr.Enabled = true
 		cr.Stats = s.cache.Stats()
 	}
+	ss := s.subs.Stats()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_s": time.Since(s.start).Seconds(),
 		"config": map[string]interface{}{
@@ -846,6 +870,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"compact_failures": snap.CompactFailures,
 		"pending_deltas":   pendingDeltas,
 		"cache":            cr,
+		"subscriptions": map[string]interface{}{
+			"active":           ss.ActiveSubs,
+			"clients":          ss.Clients,
+			"notifications":    ss.Notifications,
+			"skips":            ss.Skips,
+			"restricted_evals": ss.RestrictedEvals,
+			"full_evals":       ss.FullEvals,
+			"dropped":          ss.Dropped,
+		},
 		"sharded_datasets": shardedDatasets,
 		"datasets":         infos,
 	})

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/qlang"
+	"gtpq/internal/sub"
+)
+
+// Standing queries: POST /subscribe upgrades the response into a
+// Server-Sent Events stream. The body names a dataset and a query; the
+// stream opens with a snapshot of the current result and then pushes a
+// delta event (added/removed tuples) after every applied update batch
+// that changes it. Event ids are catalog generations — a reconnecting
+// client sends the standard Last-Event-ID header and, when the
+// subscription's replay ring still covers that generation, receives
+// only the deltas it missed instead of a snapshot reset. Slow
+// consumers are never allowed to stall the matcher: past the
+// per-client buffer their events are dropped and summarized by a `gap`
+// event (with the drop count) followed by a fresh snapshot.
+
+// subPingInterval paces SSE keep-alive comments so idle streams are
+// not reaped by intermediaries.
+const subPingInterval = 15 * time.Second
+
+// subscribeRequest is the POST /subscribe body.
+type subscribeRequest struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req subscribeRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err))
+		return
+	}
+	if req.Dataset == "" {
+		httpError(w, http.StatusBadRequest, "missing \"dataset\"")
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		ri.dataset = req.Dataset
+	}
+	q, err := qlang.Parse(req.Query)
+	if err != nil {
+		s.failures.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Last-Event-ID is the SSE resume header; 0 (or garbage) means a
+	// fresh attach and yields an initial snapshot.
+	lastID, _ := strconv.ParseUint(r.Header.Get("Last-Event-ID"), 10, 64)
+
+	c, err := s.subs.Subscribe(req.Dataset, q, lastID)
+	if err != nil {
+		switch {
+		case errors.Is(err, sub.ErrTooManySubs):
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, sub.ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, catalog.ErrUnknownDataset):
+			s.failures.Add(1)
+			httpError(w, http.StatusNotFound, err.Error())
+		default:
+			s.failures.Add(1)
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	defer c.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	ping := time.NewTicker(subPingInterval)
+	defer ping.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-c.Events():
+			if !ok {
+				return // subscription failed or server shutting down
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		case <-ping.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE frames one event: the type and generation ride the SSE
+// fields, the payload is one JSON object on the data line.
+func writeSSE(w http.ResponseWriter, ev sub.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.ID, data)
+	return err
+}

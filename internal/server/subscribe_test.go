@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	typ  string
+	id   uint64
+	data map[string]interface{}
+}
+
+// sseStream wraps an open /subscribe response with a background reader
+// so tests can receive events with a timeout instead of hanging.
+type sseStream struct {
+	resp   *http.Response
+	events chan sseEvent
+	errs   chan error
+}
+
+func openSSE(t *testing.T, url, dataset, query, lastEventID string) *sseStream {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"dataset": dataset, "query": query})
+	req, err := http.NewRequest(http.MethodPost, url+"/subscribe", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("subscribe: status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	s := &sseStream{resp: resp, events: make(chan sseEvent, 16), errs: make(chan error, 1)}
+	t.Cleanup(s.close)
+	go s.read()
+	return s
+}
+
+func (s *sseStream) close() { s.resp.Body.Close() }
+
+func (s *sseStream) read() {
+	br := bufio.NewReader(s.resp.Body)
+	var ev sseEvent
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			s.errs <- err
+			return
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.typ != "" {
+				s.events <- ev
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, ":"): // keep-alive comment
+		case strings.HasPrefix(line, "event: "):
+			ev.typ = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ev.id, _ = strconv.ParseUint(line[len("id: "):], 10, 64)
+		case strings.HasPrefix(line, "data: "):
+			json.Unmarshal([]byte(line[len("data: "):]), &ev.data)
+		}
+	}
+}
+
+func (s *sseStream) next(t *testing.T) sseEvent {
+	t.Helper()
+	select {
+	case ev := <-s.events:
+		return ev
+	case err := <-s.errs:
+		t.Fatalf("stream ended: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for SSE event")
+	}
+	return sseEvent{}
+}
+
+// expectClosed asserts the stream ends (EOF) shortly.
+func (s *sseStream) expectClosed(t *testing.T) {
+	t.Helper()
+	select {
+	case err := <-s.errs:
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Logf("stream closed with %v", err)
+		}
+	case ev := <-s.events:
+		t.Fatalf("expected stream close, got event %+v", ev)
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream never closed")
+	}
+}
+
+func addPair(t *testing.T, url string, from, to int) {
+	t.Helper()
+	code, out := postJSON(t, url+"/update", map[string]interface{}{
+		"dataset": "small",
+		"nodes":   []map[string]interface{}{{"label": "b"}},
+		"edges":   []map[string]interface{}{{"from": from, "to": to}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("update: status %d: %v", code, out)
+	}
+}
+
+// TestSubscribeStream covers the basic standing-query flow: snapshot
+// on attach, a delta event after a mutating update, and no event for
+// an update that cannot touch the query.
+func TestSubscribeStream(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	s := openSSE(t, ts.URL, "small", abQuery, "")
+
+	snap := s.next(t)
+	if snap.typ != "snapshot" || snap.id == 0 {
+		t.Fatalf("first event %+v, want snapshot", snap)
+	}
+	rows := snap.data["rows"].([]interface{})
+	if len(rows) != 2 { // (0,1) and (0,2)
+		t.Fatalf("snapshot rows = %d, want 2", len(rows))
+	}
+
+	// An update in a label-disjoint corner: an edge between the two
+	// c-labeled vertices can never extend a→b and must be skipped
+	// without a notification.
+	code, out := postJSON(t, ts.URL+"/update", map[string]interface{}{
+		"dataset": "small",
+		"edges":   []map[string]interface{}{{"from": 3, "to": 5}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("disjoint update: %d %v", code, out)
+	}
+	srv.Subs().Sync("small")
+	skipsAfter := srv.Subs().Stats().Skips
+
+	// Now a real extension: a new b under the a at vertex 4.
+	addPair(t, ts.URL, 4, 6)
+	delta := s.next(t)
+	if delta.typ != "delta" || delta.id <= snap.id {
+		t.Fatalf("delta event %+v", delta)
+	}
+	added := delta.data["added"].([]interface{})
+	if len(added) != 1 {
+		t.Fatalf("added = %v, want 1 tuple", added)
+	}
+	if skipsAfter == 0 {
+		t.Fatal("disjoint update was not skipped")
+	}
+
+	st := srv.Subs().Stats()
+	if st.ActiveSubs != 1 || st.Clients != 1 || st.Notifications == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSubscribeResume covers Last-Event-ID: a reconnecting client
+// whose generation is still in the replay ring receives only the
+// missed deltas, never a snapshot reset.
+func TestSubscribeResume(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	s := openSSE(t, ts.URL, "small", abQuery, "")
+	snap := s.next(t)
+	if snap.typ != "snapshot" {
+		t.Fatalf("first event %q", snap.typ)
+	}
+	addPair(t, ts.URL, 4, 6)
+	d1 := s.next(t)
+	if d1.typ != "delta" {
+		t.Fatalf("event %q, want delta", d1.typ)
+	}
+	s.close() // drop the connection, remember d1.id
+
+	addPair(t, ts.URL, 4, 7)
+	srv.Subs().Sync("small")
+
+	r := openSSE(t, ts.URL, "small", abQuery, fmt.Sprintf("%d", d1.id))
+	d2 := r.next(t)
+	if d2.typ != "delta" {
+		t.Fatalf("resumed first event %q, want replayed delta (no snapshot reset)", d2.typ)
+	}
+	if d2.id <= d1.id {
+		t.Fatalf("replayed id %d not after %d", d2.id, d1.id)
+	}
+	if added := d2.data["added"].([]interface{}); len(added) != 1 {
+		t.Fatalf("replayed added = %v", added)
+	}
+}
+
+// TestSubscribeAdmissionAndErrors covers -max-subs 429s and the error
+// statuses for bad requests.
+func TestSubscribeAdmissionAndErrors(t *testing.T) {
+	ts, _ := newTestServer(t, Config{MaxSubs: 1})
+	s := openSSE(t, ts.URL, "small", abQuery, "")
+	if ev := s.next(t); ev.typ != "snapshot" {
+		t.Fatalf("first event %q", ev.typ)
+	}
+
+	post := func(body map[string]string) int {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/subscribe", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := post(map[string]string{"dataset": "small", "query": abQuery}); code != http.StatusTooManyRequests {
+		t.Fatalf("over max-subs: status %d, want 429", code)
+	}
+	if code := post(map[string]string{"dataset": "nope", "query": abQuery}); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", code)
+	}
+	if code := post(map[string]string{"dataset": "small", "query": "definitely not a query"}); code != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d, want 400", code)
+	}
+	if code := post(map[string]string{"dataset": "small"}); code != http.StatusBadRequest {
+		t.Fatalf("missing query: status %d, want 400", code)
+	}
+}
+
+// TestSubscribeShutdown covers the drain contract: closing the
+// registry ends every open stream so http.Server.Shutdown can finish.
+func TestSubscribeShutdown(t *testing.T) {
+	ts, srv := newTestServer(t, Config{})
+	s := openSSE(t, ts.URL, "small", abQuery, "")
+	if ev := s.next(t); ev.typ != "snapshot" {
+		t.Fatalf("first event %q", ev.typ)
+	}
+	srv.CloseSubscriptions()
+	s.expectClosed(t)
+}

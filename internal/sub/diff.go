@@ -1,0 +1,72 @@
+package sub
+
+import (
+	"gtpq/internal/core"
+	"gtpq/internal/graph"
+)
+
+// diffTuples returns a's tuples missing from b, in canonical order.
+// Both answers must be canonical (engines always return them so).
+func diffTuples(a, b *core.Answer) [][]graph.NodeID {
+	var at, bt [][]graph.NodeID
+	if a != nil {
+		at = a.Tuples
+	}
+	if b != nil {
+		bt = b.Tuples
+	}
+	var out [][]graph.NodeID
+	i, j := 0, 0
+	for i < len(at) {
+		if j >= len(bt) {
+			out = append(out, at[i])
+			i++
+			continue
+		}
+		switch core.CompareTuples(at[i], bt[j]) {
+		case -1:
+			out = append(out, at[i])
+			i++
+		case 0:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// mergeAdded merges a canonical answer with a canonical slice of new
+// tuples (disjoint from it) into a fresh canonical answer; prev is
+// never mutated — attached clients may still hold its tuples.
+func mergeAdded(prev *core.Answer, added [][]graph.NodeID) *core.Answer {
+	var pt [][]graph.NodeID
+	var out []int
+	if prev != nil {
+		pt = prev.Tuples
+		out = prev.Out
+	}
+	if len(added) == 0 {
+		return prev
+	}
+	merged := make([][]graph.NodeID, 0, len(pt)+len(added))
+	i, j := 0, 0
+	for i < len(pt) || j < len(added) {
+		switch {
+		case i >= len(pt):
+			merged = append(merged, added[j])
+			j++
+		case j >= len(added):
+			merged = append(merged, pt[i])
+			i++
+		case core.CompareTuples(pt[i], added[j]) < 0:
+			merged = append(merged, pt[i])
+			i++
+		default:
+			merged = append(merged, added[j])
+			j++
+		}
+	}
+	return &core.Answer{Out: out, Tuples: merged}
+}

@@ -1,0 +1,250 @@
+package sub
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"gtpq/internal/catalog"
+	"gtpq/internal/core"
+	"gtpq/internal/delta"
+	"gtpq/internal/graph"
+)
+
+// chainGraph builds a tiny two-label graph: a0 -> b1, a2 (isolated).
+func chainGraph() *graph.Graph {
+	g := graph.New(3, 1)
+	g.AddNode("a", nil)
+	g.AddNode("b", nil)
+	g.AddNode("a", nil)
+	g.AddEdge(0, 1)
+	g.Freeze()
+	return g
+}
+
+// abQuery is "a-rooted, AD-descendant b", both outputs.
+func abQuery() *core.Query {
+	q := core.NewQuery()
+	root := q.AddRoot("x", core.Label("a"))
+	y := q.AddNode("y", core.Backbone, root, core.AD, core.Label("b"))
+	q.SetOutput(root)
+	q.SetOutput(y)
+	return q
+}
+
+// growBatch extends the result: a new b-vertex under a0.
+func growBatch() delta.Batch {
+	return delta.Batch{
+		Nodes: []delta.NodeAdd{{Label: "b"}},
+		Edges: []delta.EdgeAdd{{From: 0, To: -1}}, // To fixed up by caller
+	}
+}
+
+func openTestCatalog(t *testing.T, g *graph.Graph) *catalog.Catalog {
+	t.Helper()
+	dir := t.TempDir()
+	writeFlat(t, dir, "ds", "threehop", g)
+	cat, err := catalog.Open(dir, catalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	return cat
+}
+
+// applyGrow appends one (new b under a0) batch and waits for delivery.
+func applyGrow(t *testing.T, cat *catalog.Catalog, r *Registry, vertices int) int {
+	t.Helper()
+	b := growBatch()
+	b.Edges[0].To = graph.NodeID(vertices)
+	ds, err := cat.ApplyDelta("ds", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Release()
+	r.Sync("ds")
+	return vertices + 1
+}
+
+func recvEvent(t *testing.T, c *Client) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-c.Events():
+		if !ok {
+			t.Fatal("event channel closed")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for event")
+	}
+	return Event{}
+}
+
+// TestSubResumeAfterDisconnect covers the Last-Event-ID contract: a
+// client resuming within the replay ring gets exactly the missed
+// deltas (no snapshot reset), one resuming from an evicted generation
+// gets a snapshot.
+func TestSubResumeAfterDisconnect(t *testing.T) {
+	cat := openTestCatalog(t, chainGraph())
+	r := New(cat, Config{Buffer: 64, Retain: time.Minute, RingSize: 2})
+	defer r.Close()
+
+	c1, err := r.Subscribe("ds", abQuery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Sync("ds")
+	snap := recvEvent(t, c1)
+	if snap.Type != "snapshot" || len(snap.Rows) != 1 {
+		t.Fatalf("initial event %q with %d rows, want snapshot with 1", snap.Type, len(snap.Rows))
+	}
+
+	vertices := applyGrow(t, cat, r, 3)
+	d1 := recvEvent(t, c1)
+	if d1.Type != "delta" || len(d1.Added) != 1 || len(d1.Removed) != 0 {
+		t.Fatalf("first delta: %+v", d1)
+	}
+	lastSeen := d1.ID
+	c1.Close() // disconnect
+
+	vertices = applyGrow(t, cat, r, vertices)
+
+	// Resume within the ring: exactly the one missed delta, no snapshot.
+	c2, err := r.Subscribe("ds", abQuery(), lastSeen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := recvEvent(t, c2)
+	if d2.Type != "delta" || d2.ID <= lastSeen || len(d2.Added) != 1 {
+		t.Fatalf("resumed event: %+v (last seen id %d)", d2, lastSeen)
+	}
+	select {
+	case ev := <-c2.Events():
+		t.Fatalf("resume replayed extra event %+v", ev)
+	default:
+	}
+	c2.Close()
+
+	// Push the ring past its size so the first delta's generation is
+	// evicted; resuming from before the floor must reset via snapshot.
+	for i := 0; i < 3; i++ {
+		vertices = applyGrow(t, cat, r, vertices)
+	}
+	c3, err := r.Subscribe("ds", abQuery(), lastSeen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	reset := recvEvent(t, c3)
+	if reset.Type != "snapshot" {
+		t.Fatalf("stale resume got %q, want snapshot reset", reset.Type)
+	}
+	if want := 1 + 5; len(reset.Rows) != want {
+		t.Fatalf("snapshot has %d rows, want %d", len(reset.Rows), want)
+	}
+}
+
+// TestSubSlowConsumerGap covers backpressure: a client that stops
+// draining never blocks the matcher; once its buffer has room it gets
+// an explicit gap event carrying the drop count, then a superseding
+// snapshot.
+func TestSubSlowConsumerGap(t *testing.T) {
+	cat := openTestCatalog(t, chainGraph())
+	r := New(cat, Config{Buffer: 2, Retain: time.Minute})
+	defer r.Close()
+
+	c, err := r.Subscribe("ds", abQuery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r.Sync("ds")
+	if ev := recvEvent(t, c); ev.Type != "snapshot" {
+		t.Fatalf("initial %q", ev.Type)
+	}
+
+	// Fill the buffer (2), then overflow it twice without draining.
+	vertices := 3
+	for i := 0; i < 4; i++ {
+		vertices = applyGrow(t, cat, r, vertices)
+	}
+	if got := r.Stats().Dropped; got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	if ev := recvEvent(t, c); ev.Type != "delta" {
+		t.Fatalf("buffered event 1: %q", ev.Type)
+	}
+	if ev := recvEvent(t, c); ev.Type != "delta" {
+		t.Fatalf("buffered event 2: %q", ev.Type)
+	}
+
+	// Next notification finds room for the gap + recovery snapshot.
+	vertices = applyGrow(t, cat, r, vertices)
+	gap := recvEvent(t, c)
+	if gap.Type != "gap" || gap.Dropped != 2 {
+		t.Fatalf("gap event: %+v, want 2 dropped", gap)
+	}
+	snap := recvEvent(t, c)
+	if snap.Type != "snapshot" {
+		t.Fatalf("post-gap event: %q, want snapshot", snap.Type)
+	}
+	// The snapshot supersedes everything: 1 initial + 5 added tuples.
+	if want := 1 + 5; len(snap.Rows) != want {
+		t.Fatalf("recovery snapshot has %d rows, want %d", len(snap.Rows), want)
+	}
+}
+
+// TestSubUnsubscribeFreesResources covers teardown: closing the last
+// client retires the subscription and its dataset worker after Retain,
+// with no goroutines left behind.
+func TestSubUnsubscribeFreesResources(t *testing.T) {
+	cat := openTestCatalog(t, chainGraph())
+	before := runtime.NumGoroutine()
+	r := New(cat, Config{Buffer: 8, Retain: 20 * time.Millisecond})
+	defer r.Close()
+
+	c1, err := r.Subscribe("ds", abQuery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Subscribe("ds", abQuery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.ActiveSubs != 1 || st.Clients != 2 {
+		t.Fatalf("shared subscription: %+v", st)
+	}
+	c1.Close()
+	c1.Close() // idempotent
+	c2.Close()
+	if st := r.Stats(); st.Clients != 0 {
+		t.Fatalf("clients = %d after close", st.Clients)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stats().ActiveSubs != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never retired the idle subscription")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The worker goroutine must wind down too (plus the janitor once the
+	// registry closes). Allow scheduling slack while polling.
+	r.Close()
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutine leak: %d before, %d after teardown", before, got)
+	}
+
+	// The registry still works after a full GC cycle.
+	c3, err := r.Subscribe("ds", abQuery(), 0)
+	if err == nil {
+		c3.Close()
+		t.Fatal("subscribe on a closed registry succeeded")
+	}
+}

@@ -1,0 +1,119 @@
+package sub
+
+import (
+	"sync"
+	"time"
+
+	"gtpq/internal/catalog"
+)
+
+// taskKind discriminates worker queue entries.
+type taskKind int
+
+const (
+	taskInit    taskKind = iota // run a subscription's initial evaluation
+	taskApply                   // process one catalog ApplyEvent
+	taskBarrier                 // close done (Registry.Sync)
+)
+
+type task struct {
+	kind taskKind
+	sub  *Subscription      // taskInit
+	ev   catalog.ApplyEvent // taskApply (owns ev.DS)
+	at   time.Time          // taskApply enqueue time (latency metric)
+	done chan struct{}      // taskBarrier
+}
+
+// worker serializes all standing-query work for one dataset: initial
+// evaluations and the apply stream, in enqueue order. The queue is
+// unbounded on purpose — the producer side (the catalog hook) runs
+// under the dataset's delta-log mutex and must never block; memory is
+// bounded instead by how far evaluation can fall behind the update
+// rate, which the bench experiment prices.
+type worker struct {
+	r    *Registry
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	stopped bool
+}
+
+func newWorker(r *Registry, name string) *worker {
+	w := &worker{r: r, name: name}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// enqueue appends a task; on a stopped worker the task's resources are
+// released instead.
+func (w *worker) enqueue(t task) {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		w.discard(t)
+		return
+	}
+	w.queue = append(w.queue, t)
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+// stop wakes the loop into draining the queue and exiting.
+func (w *worker) stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+// discard releases whatever a dropped task holds.
+func (w *worker) discard(t task) {
+	if t.ev.DS != nil {
+		t.ev.DS.Release()
+	}
+	if t.done != nil {
+		close(t.done)
+	}
+}
+
+func (w *worker) loop() {
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.stopped {
+			w.cond.Wait()
+		}
+		if w.stopped {
+			rest := w.queue
+			w.queue = nil
+			w.mu.Unlock()
+			for _, t := range rest {
+				w.discard(t)
+			}
+			return
+		}
+		t := w.queue[0]
+		w.queue[0] = task{} // drop references held by the slot
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+		w.run(t)
+	}
+}
+
+func (w *worker) run(t task) {
+	switch t.kind {
+	case taskBarrier:
+		close(t.done)
+	case taskInit:
+		w.r.initSub(t.sub)
+	case taskApply:
+		func() {
+			defer t.ev.DS.Release()
+			for _, s := range w.r.subsFor(w.name) {
+				w.r.applyToSub(s, t.ev, t.at)
+			}
+		}()
+	}
+}
